@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figures 3 and 4 reproduction: Haar-weighted coverage of the monodromy
+ * polytopes for CNOT and the iSWAP roots, with and without mirror
+ * extension. The paper's headline values: sqrt(iSWAP) k=2 covers 79.0%
+ * (94.4% with mirrors); CNOT k=2 is a zero-volume planar slice; the
+ * 4th-root needs k=6 exactly but never more than k=4 with mirrors.
+ */
+
+#include <cstdio>
+
+#include "monodromy/coverage.hh"
+
+using namespace mirage;
+using monodromy::CoverageSet;
+
+namespace {
+
+void
+report(const CoverageSet &cs)
+{
+    std::printf("--- basis %s (duration %.3f) ---\n",
+                cs.basis().name.c_str(), cs.basis().duration);
+    std::printf("%4s %18s %18s\n", "k", "coverage", "mirror coverage");
+    for (int k = 1; k <= cs.kMax(); ++k) {
+        std::printf("%4d %17.2f%% %17.2f%%\n", k,
+                    100.0 * cs.haarFractionAt(k),
+                    100.0 * cs.mirrorHaarFractionAt(k));
+    }
+    std::printf("full coverage at k = %d\n\n", cs.kMax());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figures 3 & 4: monodromy coverage, standard vs "
+                "mirror-extended ==\n\n");
+    report(monodromy::coverageForCnot());
+    for (int n : {2, 3, 4})
+        report(monodromy::coverageForRootIswap(n));
+
+    std::printf("paper anchors: CNOT k=2 -> 0%% (planar);\n");
+    std::printf("  sqrt(iSWAP) k=2 -> 79.0%%, with mirrors 94.4%%;\n");
+    std::printf("  4th-root needs k=6 exact, <= k=4 with mirrors.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9 reproduction: local minima in greedy routing. The same
+ * 4-qubit input (a subset of the Fig. 8 ansatz, reordered so the first
+ * gate needs no SWAP) is routed from the same initial layout many times;
+ * different greedy tie-breaks land in different minima -- some trials
+ * get stuck near 7 pulses while others find the 6-pulse optimum, which
+ * is exactly why MIRAGE runs independent trials with mixed aggression
+ * and post-selects on depth.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_circuits/generators.hh"
+#include "circuit/consolidate.hh"
+#include "monodromy/cost_model.hh"
+#include "mirage/depth_metric.hh"
+#include "router/sabre.hh"
+
+using namespace mirage;
+using namespace mirage::router;
+
+int
+main()
+{
+    // The Fig. 9 input: the fully entangling 4-qubit ansatz, starting
+    // from the identity layout so the first gate needs no SWAP.
+    auto circ = bench::twoLocalFull(4, 1, 7);
+    auto line = topology::CouplingMap::line(4);
+    auto cost = monodromy::makeRootIswapCostModel(2);
+    auto consolidated = circuit::consolidateBlocks(circ);
+
+    std::printf("== Figure 9: greedy local minima across routing trials "
+                "==\n");
+    std::map<int, int> histogram; // pulses -> count
+    double best = 1e30, worst = 0;
+    const int trials = 64;
+    for (int t = 0; t < trials; ++t) {
+        PassOptions opts;
+        opts.costModel = &cost;
+        switch (t % 4) {
+          case 0: opts.aggression = Aggression::Lower; break;
+          case 1: opts.aggression = Aggression::Equal; break;
+          case 2: opts.aggression = Aggression::Always; break;
+          default: opts.aggression = Aggression::None; break;
+        }
+        opts.seed = 101 + 7 * uint64_t(t);
+        auto res = routePass(consolidated, line, layout::Layout(4), opts);
+        auto m = mirage_pass::computeMetrics(res.routed, cost);
+        ++histogram[int(m.depthPulses + 0.5)];
+        best = std::min(best, m.depthPulses);
+        worst = std::max(worst, m.depthPulses);
+    }
+
+    std::printf("%-14s %s\n", "depth(pulses)", "trials");
+    for (auto [pulses, count] : histogram) {
+        std::printf("%-14d %d  ", pulses, count);
+        for (int i = 0; i < count; ++i)
+            std::printf("#");
+        std::printf("\n");
+    }
+    std::printf("\nbest %.0f vs worst %.0f pulses from the same layout "
+                "(paper: 6 vs 7+ on its subset).\n", best, worst);
+    std::printf("Post-selection across trials keeps the %.0f-pulse "
+                "route.\n", best);
+    return 0;
+}

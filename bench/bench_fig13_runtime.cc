@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 13 reproduction: transpiler runtime scaling and the caching
+ * ablation. Routes QFT instances of growing size on an 8x8 grid and
+ * times (a) the SABRE baseline, (b) MIRAGE with its caches (coordinate
+ * cache in consolidation + LRU polytope lookup), and (c) MIRAGE with the
+ * caches disabled -- reproducing the Section VI-C observation that the
+ * caches keep MIRAGE's runtime competitive with plain SABRE.
+ *
+ * Built on google-benchmark; pass --benchmark_filter=... to narrow runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/generators.hh"
+#include "circuit/consolidate.hh"
+#include "mirage/pipeline.hh"
+#include "monodromy/cost_model.hh"
+#include "router/sabre.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+
+namespace {
+
+const topology::CouplingMap &
+grid64()
+{
+    static const auto g = topology::CouplingMap::grid(8, 8);
+    return g;
+}
+
+void
+routeQft(benchmark::State &state, router::Aggression aggression,
+         bool caches)
+{
+    const int n = int(state.range(0));
+    auto circ = bench::qft(n, true);
+
+    // Coverage construction is one-time; exclude it from the timing.
+    monodromy::CostModel cost = monodromy::makeRootIswapCostModel(2);
+    cost.setCacheEnabled(caches);
+
+    for (auto _ : state) {
+        circuit::ConsolidateOptions copts;
+        copts.useCoordinateCache = caches;
+        auto consolidated = circuit::consolidateBlocks(circ, copts);
+        router::PassOptions opts;
+        opts.aggression = aggression;
+        opts.costModel = &cost;
+        opts.seed = 42;
+        Rng rng(7);
+        auto init = layout::Layout::random(64, rng);
+        auto res = router::routePass(consolidated, grid64(), init, opts);
+        benchmark::DoNotOptimize(res.swapsAdded);
+    }
+    state.SetLabel(caches ? "cached" : "uncached");
+}
+
+void
+BM_SabreBaseline(benchmark::State &state)
+{
+    routeQft(state, router::Aggression::None, true);
+}
+
+void
+BM_MirageCached(benchmark::State &state)
+{
+    routeQft(state, router::Aggression::Equal, true);
+}
+
+void
+BM_MirageUncached(benchmark::State &state)
+{
+    routeQft(state, router::Aggression::Equal, false);
+}
+
+} // namespace
+
+BENCHMARK(BM_SabreBaseline)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MirageCached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MirageUncached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: environment
+ * knobs for trial counts, geometric means over seeds, and the standard
+ * baseline-vs-MIRAGE sweep runner.
+ *
+ * Knobs (all optional):
+ *   MIRAGE_BENCH_SEEDS        independent instances averaged (default 3)
+ *   MIRAGE_BENCH_TRIALS       SABRE/MIRAGE layout trials     (default 8)
+ *   MIRAGE_BENCH_SWAP_TRIALS  routing repeats per layout     (default 4)
+ *   MIRAGE_BENCH_FWD_BWD      layout refinement rounds       (default 2)
+ */
+
+#ifndef MIRAGE_BENCH_BENCH_UTIL_HH
+#define MIRAGE_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_circuits/generators.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
+
+namespace mirage::benchutil {
+
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atoi(v) : fallback;
+}
+
+inline int
+benchSeeds()
+{
+    return envInt("MIRAGE_BENCH_SEEDS", 3);
+}
+
+/** Transpile options matching the bench defaults. */
+inline mirage_pass::TranspileOptions
+benchOptions(mirage_pass::Flow flow, uint64_t seed)
+{
+    mirage_pass::TranspileOptions o;
+    o.flow = flow;
+    o.layoutTrials = envInt("MIRAGE_BENCH_TRIALS", 12);
+    o.swapTrials = envInt("MIRAGE_BENCH_SWAP_TRIALS", 4);
+    o.forwardBackwardPasses = envInt("MIRAGE_BENCH_FWD_BWD", 2);
+    // The paper's suite is selected to need routing; skip the VF2
+    // short-circuit so linear-interaction circuits are routed too.
+    o.tryVf2 = false;
+    o.seed = seed;
+    return o;
+}
+
+/** Aggregated transpile statistics over several seeds (geometric mean for
+ * depth as in the paper, arithmetic for counters). */
+struct SweepStats
+{
+    double depth = 0;      ///< geomean critical-path duration
+    double depthPulses = 0;
+    double totalPulses = 0;
+    double swaps = 0;
+    double mirrorRate = 0;
+};
+
+inline SweepStats
+runSweep(const std::string &bench_name,
+         const topology::CouplingMap &coupling, mirage_pass::Flow flow,
+         int fixed_aggression = -1)
+{
+    const int seeds = benchSeeds();
+    SweepStats s;
+    double log_depth = 0;
+    for (int i = 0; i < seeds; ++i) {
+        auto circ = bench::benchmarkByName(bench_name).make();
+        auto opts = benchOptions(flow, 0x9000 + 131 * uint64_t(i));
+        opts.fixedAggression = fixed_aggression;
+        auto res = mirage_pass::transpile(circ, coupling, opts);
+        log_depth += std::log(std::max(res.metrics.depth, 1e-9));
+        s.depthPulses += res.metrics.depthPulses;
+        s.totalPulses += res.metrics.totalPulses;
+        s.swaps += res.swapsAdded;
+        s.mirrorRate += res.mirrorAcceptRate();
+    }
+    s.depth = std::exp(log_depth / seeds);
+    s.depthPulses /= seeds;
+    s.totalPulses /= seeds;
+    s.swaps /= seeds;
+    s.mirrorRate /= seeds;
+    return s;
+}
+
+inline double
+pct(double base, double now)
+{
+    return base > 0 ? 100.0 * (base - now) / base : 0.0;
+}
+
+} // namespace mirage::benchutil
+
+#endif // MIRAGE_BENCH_BENCH_UTIL_HH

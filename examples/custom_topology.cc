@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Domain example: bring your own device. Builds a custom coupling map (a
+ * ladder with a broken rung), checks VF2 embeddability of a workload,
+ * routes it with MIRAGE, verifies the result functionally against the
+ * original circuit with the statevector simulator, and exports QASM.
+ *
+ *   $ ./examples/custom_topology
+ */
+
+#include <cstdio>
+
+#include "bench_circuits/generators.hh"
+#include "circuit/qasm.hh"
+#include "circuit/sim.hh"
+#include "layout/vf2.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+
+int
+main()
+{
+    // A 2x5 ladder with one rung removed -- e.g. a device with a dead
+    // coupler.
+    std::vector<std::pair<int, int>> edges;
+    for (int c = 0; c + 1 < 5; ++c) {
+        edges.emplace_back(c, c + 1);
+        edges.emplace_back(5 + c, 5 + c + 1);
+    }
+    for (int c = 0; c < 5; ++c) {
+        if (c != 2) // dead coupler in the middle
+            edges.emplace_back(c, 5 + c);
+    }
+    topology::CouplingMap device(10, edges, "ladder-broken");
+    std::printf("device: %s, %d qubits, %zu couplers, max degree %d\n",
+                device.name().c_str(), device.numQubits(),
+                device.edges().size(), device.maxDegree());
+
+    auto circ = bench::qft(7, true);
+    std::printf("workload: %s (%d 2Q gates)\n", circ.name().c_str(),
+                circ.twoQubitGateCount());
+
+    auto vf2 = layout::findSwapFreeLayout(circ, device);
+    std::printf("swap-free embedding: %s\n",
+                vf2.has_value() ? "found" : "none (routing needed)");
+
+    mirage_pass::TranspileOptions opts;
+    opts.flow = mirage_pass::Flow::MirageDepth;
+    opts.tryVf2 = false;
+    auto res = mirage_pass::transpile(circ, device, opts);
+    std::printf("routed: depth %.2f iSWAP units, %d swaps, %d mirrors\n",
+                res.metrics.depth, res.swapsAdded, res.mirrorsAccepted);
+
+    // Functional verification (original vs routed under the reported
+    // permutations).
+    Rng rng(21);
+    circuit::StateVector psi(device.numQubits());
+    psi.randomize(rng);
+    auto lhs = psi.permuted(res.initial.logicalToPhysical());
+    lhs.applyCircuit(res.routed);
+    circuit::Circuit lifted(device.numQubits());
+    for (const auto &g : circ.gates())
+        lifted.append(g);
+    auto rhs = psi;
+    rhs.applyCircuit(lifted);
+    rhs = rhs.permuted(res.final.logicalToPhysical());
+    std::printf("functional overlap |<routed|original>| = %.12f\n",
+                std::abs(lhs.inner(rhs)));
+
+    std::string qasm = circuit::toQasm(res.routed);
+    std::printf("\nQASM export: %zu bytes (first line: %s...)\n",
+                qasm.size(), qasm.substr(0, 14).c_str());
+    return 0;
+}

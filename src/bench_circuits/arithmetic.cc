@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Arithmetic benchmark family: CDKM ripple-carry adder and the Draper
+ * QFT-based multiplier.
+ */
+
+#include <cmath>
+
+#include "bench_circuits/generators.hh"
+#include "common/logging.hh"
+
+namespace mirage::bench {
+
+using linalg::kPi;
+
+namespace {
+
+/** CDKM majority gate on (c, b, a). */
+void
+maj(Circuit &circ, int c, int b, int a)
+{
+    circ.cx(a, b);
+    circ.cx(a, c);
+    circ.ccx(c, b, a);
+}
+
+/** CDKM un-majority-and-add on (c, b, a). */
+void
+uma(Circuit &circ, int c, int b, int a)
+{
+    circ.ccx(c, b, a);
+    circ.cx(a, c);
+    circ.cx(c, b);
+}
+
+} // namespace
+
+Circuit
+bigadder(int n)
+{
+    // Layout: cin = 0, a-bits = 1..w, b-bits = w+1..2w, cout = 2w+1 with
+    // w = (n - 2) / 2 (w = 8 for the paper's 18-qubit instance).
+    MIRAGE_ASSERT(n >= 4 && n % 2 == 0, "bigadder needs even n >= 4");
+    const int w = (n - 2) / 2;
+    Circuit c(n, "bigadder_n" + std::to_string(n));
+    auto a = [w](int i) { return 1 + i; };
+    auto b = [w](int i) { return 1 + w + i; };
+    const int cin = 0, cout = 2 * w + 1;
+
+    // Some nontrivial input state.
+    for (int i = 0; i < w; i += 2)
+        c.x(a(i));
+    for (int i = 1; i < w; i += 2)
+        c.x(b(i));
+
+    maj(c, cin, b(0), a(0));
+    for (int i = 1; i < w; ++i)
+        maj(c, a(i - 1), b(i), a(i));
+    c.cx(a(w - 1), cout);
+    for (int i = w - 1; i >= 1; --i)
+        uma(c, a(i - 1), b(i), a(i));
+    uma(c, cin, b(0), a(0));
+    return c;
+}
+
+Circuit
+multiplier(int n)
+{
+    // Draper-style multiplier: x (wx bits), y (wy bits), product
+    // (wx + wy bits) kept in the Fourier basis while controlled-controlled
+    // phases accumulate x*y.
+    MIRAGE_ASSERT(n == 15, "multiplier is defined on 15 qubits");
+    const int wx = 3, wy = 3, wp = 6;
+    Circuit c(n, "multiplier_n" + std::to_string(n));
+    auto x = [](int i) { return i; };
+    auto y = [wx](int i) { return wx + i; };
+    auto p = [wx, wy](int i) { return wx + wy + i; };
+    (void)wp;
+
+    // Inputs.
+    c.x(x(0));
+    c.x(x(1));
+    c.x(y(0));
+    c.x(y(2));
+
+    // QFT on the product register.
+    for (int i = wp - 1; i >= 0; --i) {
+        c.h(p(i));
+        for (int j = i - 1; j >= 0; --j)
+            c.cp(kPi / double(1 << (i - j)), p(j), p(i));
+    }
+
+    // Accumulate phases: for each x_i, y_j pair add 2^{i+j} into the
+    // product via doubly controlled phases (ccp decomposed as
+    // cp/2 + cx + cp/-2 + cx + cp/2).
+    auto ccp = [&c](double theta, int q0, int q1, int t) {
+        c.cp(theta / 2, q1, t);
+        c.cx(q0, q1);
+        c.cp(-theta / 2, q1, t);
+        c.cx(q0, q1);
+        c.cp(theta / 2, q0, t);
+    };
+    for (int i = 0; i < wx; ++i) {
+        for (int j = 0; j < wy; ++j) {
+            for (int k = i + j; k < wp; ++k) {
+                double theta = 2.0 * kPi / double(1 << (k - i - j + 1));
+                ccp(theta, x(i), y(j), p(k));
+            }
+        }
+    }
+
+    // Inverse QFT on the product register.
+    for (int i = 0; i < wp; ++i) {
+        for (int j = 0; j < i; ++j)
+            c.cp(-kPi / double(1 << (i - j)), p(j), p(i));
+        c.h(p(i));
+    }
+    return c;
+}
+
+} // namespace mirage::bench

@@ -1,0 +1,278 @@
+#include "bench_circuits/generators.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mirage::bench {
+
+using circuit::GateKind;
+using linalg::kPi;
+
+Circuit
+wstate(int n)
+{
+    MIRAGE_ASSERT(n >= 2, "wstate needs >= 2 qubits");
+    // Standard W-state cascade: |100..0> spread by controlled rotations
+    // followed by a CNOT chain (QASMBench wstate style: F-gates).
+    Circuit c(n, "wstate_n" + std::to_string(n));
+    c.x(n - 1);
+    for (int i = n - 1; i > 0; --i) {
+        double theta = 2.0 * std::acos(std::sqrt(1.0 / (i + 1)));
+        c.cry(theta, i, i - 1);
+        c.cx(i - 1, i);
+    }
+    return c;
+}
+
+Circuit
+ghz(int n)
+{
+    Circuit c(n, "ghz_n" + std::to_string(n));
+    c.h(0);
+    for (int i = 0; i + 1 < n; ++i)
+        c.cx(i, i + 1);
+    return c;
+}
+
+Circuit
+twoLocalFull(int n, int reps, uint64_t seed)
+{
+    // RY rotation layer + full-entanglement CX layer, repeated (Fig. 8a).
+    Circuit c(n, "twolocal_n" + std::to_string(n));
+    Rng rng(seed);
+    for (int r = 0; r < reps; ++r) {
+        for (int q = 0; q < n; ++q)
+            c.ry(rng.uniform(0, 2 * kPi), q);
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                c.cx(i, j);
+    }
+    for (int q = 0; q < n; ++q)
+        c.ry(rng.uniform(0, 2 * kPi), q);
+    return c;
+}
+
+Circuit
+qec9xz(int n)
+{
+    MIRAGE_ASSERT(n == 17, "qec9xz is defined on 17 qubits");
+    // 9 data qubits (0..8), 8 ancillas (9..16). Shor-code encoding
+    // followed by Z-pair and X-block stabilizer extraction: 32 CNOTs.
+    Circuit c(n, "qec9xz_n17");
+    // Encode: |psi> -> three blocks of three.
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    c.cx(3, 4);
+    c.cx(3, 5);
+    c.cx(6, 7);
+    c.cx(7, 8); // 8 encode CNOTs
+    // Z1Z2-type stabilizers inside each block (6 ancilla, 2 CX each).
+    int anc = 9;
+    const int zpairs[6][2] = {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8}};
+    for (auto &p : zpairs) {
+        c.cx(p[0], anc);
+        c.cx(p[1], anc);
+        ++anc;
+    }
+    // X-block stabilizers X0..X5 and X3..X8 (2 ancillas, 6 CX each).
+    for (int blk = 0; blk < 2; ++blk) {
+        c.h(anc);
+        for (int q = 3 * blk; q < 3 * blk + 6; ++q)
+            c.cx(anc, q);
+        c.h(anc);
+        ++anc;
+    }
+    return c;
+}
+
+Circuit
+seca(int n)
+{
+    MIRAGE_ASSERT(n == 11, "seca is defined on 11 qubits");
+    // Shor-code error correction assisted by teleportation (QASMBench
+    // 'seca_n11'): encode a 9-qubit Shor block on 0..8, inject an error,
+    // decode with CCX corrections, and teleport the result via 9, 10.
+    Circuit c(n, "seca_n11");
+    // Encode.
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    for (int b : {0, 3, 6}) {
+        c.cx(b, b + 1);
+        c.cx(b, b + 2);
+    }
+    // Error: Z on qubit 0 region.
+    c.z(0);
+    c.x(1);
+    // Decode each block with CCX majority vote.
+    for (int b : {0, 3, 6}) {
+        c.cx(b, b + 1);
+        c.cx(b, b + 2);
+        c.ccx(b + 2, b + 1, b);
+    }
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.ccx(6, 3, 0);
+    // Second protection round: re-encode, new error, decode again.
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    for (int b : {0, 3, 6}) {
+        c.cx(b, b + 1);
+        c.cx(b, b + 2);
+    }
+    c.x(4);
+    for (int b : {0, 3, 6}) {
+        c.cx(b, b + 1);
+        c.cx(b, b + 2);
+        c.ccx(b + 2, b + 1, b);
+    }
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.ccx(6, 3, 0);
+    // Teleport the recovered logical qubit 0 via the Bell pair (9, 10).
+    c.h(9);
+    c.cx(9, 10);
+    c.cx(0, 9);
+    c.h(0);
+    c.cx(9, 10);
+    c.cz(0, 10);
+    return c;
+}
+
+Circuit
+qram(int n)
+{
+    MIRAGE_ASSERT(n == 20, "qram is defined on 20 qubits");
+    // Bucket-brigade router: 2 address qubits (0,1), a 3-node router tree
+    // (2..4), 4 memory cells (5..8), a bus (9) and auxiliary registers
+    // (10..19) carrying the addressed data back out.
+    Circuit c(n, "qram_n20");
+    c.h(0);
+    c.h(1);
+    // Route the address into the tree.
+    c.cx(0, 2);
+    c.cswap(2, 3, 4);
+    c.cx(1, 3);
+    c.cx(1, 4);
+    // Load memory cells.
+    for (int m = 5; m <= 8; ++m)
+        c.h(m);
+    // Route each cell toward the bus under router control.
+    c.cswap(3, 5, 9);
+    c.cswap(3, 6, 9);
+    c.cswap(4, 7, 9);
+    c.cswap(4, 8, 9);
+    // Copy out through the auxiliary register and unroute.
+    c.cx(9, 10);
+    c.cswap(4, 8, 9);
+    c.cswap(4, 7, 9);
+    c.cswap(3, 6, 9);
+    c.cswap(3, 5, 9);
+    c.cx(9, 11);
+    c.cswap(2, 3, 4);
+    c.cx(0, 2);
+    // Fan the readout across the remaining aux qubits.
+    for (int q = 12; q < 20; ++q)
+        c.cx(10, q);
+    return c;
+}
+
+const std::vector<BenchmarkInfo> &
+paperBenchmarks()
+{
+    static const std::vector<BenchmarkInfo> list = {
+        {"wstate_n27", 27, 52, "Entanglement", [] { return wstate(27); }},
+        {"qftentangled_n16", 16, 279, "Hidden Subgroup",
+         [] { return qftEntangled(16); }},
+        {"qpeexact_n16", 16, 261, "Hidden Subgroup",
+         [] { return qpeExact(16); }},
+        {"ae_n16", 16, 240, "Hidden Subgroup",
+         [] { return amplitudeEstimation(16); }},
+        {"qft_n18", 18, 306, "Hidden Subgroup",
+         [] { return qft(18, /*with_swaps=*/false); }},
+        {"bv_n30", 30, 18, "Hidden Subgroup",
+         [] { return bernsteinVazirani(30, 18); }},
+        {"multiplier_n15", 15, 246, "Arithmetic",
+         [] { return multiplier(15); }},
+        {"bigadder_n18", 18, 130, "Arithmetic", [] { return bigadder(18); }},
+        {"qec9xz_n17", 17, 32, "EC", [] { return qec9xz(17); }},
+        {"seca_n11", 11, 84, "EC", [] { return seca(11); }},
+        {"qram_n20", 20, 92, "Memory", [] { return qram(20); }},
+        {"sat_n11", 11, 252, "QML", [] { return satGrover(11); }},
+        {"portfolioqaoa_n16", 16, 720, "QML",
+         [] { return portfolioQaoa(16); }},
+        {"knn_n25", 25, 96, "QML", [] { return knn(25); }},
+        {"swap_test_n25", 25, 96, "QML", [] { return swapTest(25); }},
+    };
+    return list;
+}
+
+const BenchmarkInfo &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &b : paperBenchmarks()) {
+        if (b.name == name)
+            return b;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+int
+cxEquivalentCount(const Circuit &c)
+{
+    int total = 0;
+    for (const auto &g : c.gates()) {
+        switch (g.kind) {
+          case GateKind::CX:
+          case GateKind::CZ:
+            total += 1;
+            break;
+          case GateKind::CP:
+          case GateKind::CRX:
+          case GateKind::CRY:
+          case GateKind::CRZ:
+          case GateKind::RXX:
+          case GateKind::RYY:
+          case GateKind::RZZ:
+          case GateKind::ISWAP:
+            total += 2;
+            break;
+          case GateKind::SWAP:
+            total += 3;
+            break;
+          case GateKind::RootISWAP:
+          case GateKind::Unitary2Q:
+            total += 3; // generic 2Q worst case
+            break;
+          case GateKind::CCX:
+            total += 6;
+            break;
+          case GateKind::CSWAP:
+            total += 8;
+            break;
+          default:
+            break;
+        }
+    }
+    return total;
+}
+
+} // namespace mirage::bench

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Hidden-subgroup benchmark family: Bernstein-Vazirani, QFT variants,
+ * phase estimation, amplitude estimation.
+ */
+
+#include <cmath>
+
+#include "bench_circuits/generators.hh"
+#include "common/logging.hh"
+
+namespace mirage::bench {
+
+using linalg::kPi;
+
+Circuit
+bernsteinVazirani(int n, int secret_ones)
+{
+    MIRAGE_ASSERT(secret_ones < n, "secret too long");
+    Circuit c(n, "bv_n" + std::to_string(n));
+    int target = n - 1;
+    for (int q = 0; q < n - 1; ++q)
+        c.h(q);
+    c.x(target);
+    c.h(target);
+    // Secret string: the first `secret_ones` data qubits are 1.
+    for (int q = 0; q < secret_ones; ++q)
+        c.cx(q, target);
+    for (int q = 0; q < n - 1; ++q)
+        c.h(q);
+    return c;
+}
+
+namespace {
+
+/** Append a QFT (optionally inverse) on qubits [0, m). */
+void
+appendQft(Circuit &c, int m, bool inverse, bool with_swaps)
+{
+    if (!inverse) {
+        for (int i = m - 1; i >= 0; --i) {
+            c.h(i);
+            for (int j = i - 1; j >= 0; --j)
+                c.cp(kPi / double(1 << (i - j)), j, i);
+        }
+        if (with_swaps) {
+            for (int i = 0; i < m / 2; ++i)
+                c.swap(i, m - 1 - i);
+        }
+    } else {
+        if (with_swaps) {
+            for (int i = m / 2 - 1; i >= 0; --i)
+                c.swap(i, m - 1 - i);
+        }
+        for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < i; ++j)
+                c.cp(-kPi / double(1 << (i - j)), j, i);
+            c.h(i);
+        }
+    }
+}
+
+} // namespace
+
+Circuit
+qft(int n, bool with_swaps)
+{
+    Circuit c(n, "qft_n" + std::to_string(n));
+    appendQft(c, n, false, with_swaps);
+    return c;
+}
+
+Circuit
+qftEntangled(int n)
+{
+    Circuit c(n, "qftentangled_n" + std::to_string(n));
+    c.h(0);
+    for (int i = 0; i + 1 < n; ++i)
+        c.cx(i, i + 1);
+    appendQft(c, n, false, true);
+    return c;
+}
+
+Circuit
+qpeExact(int n)
+{
+    // n-1 counting qubits estimate an exactly representable phase of a
+    // U = P(theta) acting on the eigenstate qubit n-1.
+    Circuit c(n, "qpeexact_n" + std::to_string(n));
+    int m = n - 1;
+    double theta = 2.0 * kPi * (1.0 / (1 << m)) * ((1 << (m - 1)) | 5);
+    c.x(n - 1); // eigenstate |1>
+    for (int q = 0; q < m; ++q)
+        c.h(q);
+    for (int q = 0; q < m; ++q) {
+        // Controlled-U^{2^q}; phase gates commute so one cp suffices.
+        double phi = theta * double(1ULL << q);
+        c.cp(std::fmod(phi, 2.0 * kPi), q, n - 1);
+    }
+    appendQft(c, m, true, true);
+    return c;
+}
+
+Circuit
+amplitudeEstimation(int n)
+{
+    // MQTBench-style AE: m evaluation qubits + 1 objective qubit; the
+    // Grover operator is a controlled RY power, then inverse QFT without
+    // the reversal swaps.
+    Circuit c(n, "ae_n" + std::to_string(n));
+    int m = n - 1;
+    const double theta = 2.0 * std::asin(std::sqrt(0.2));
+    c.ry(theta, n - 1);
+    for (int q = 0; q < m; ++q)
+        c.h(q);
+    for (int q = 0; q < m; ++q) {
+        double power = double(1ULL << q);
+        c.cry(2.0 * theta * power, q, n - 1);
+    }
+    appendQft(c, m, true, false);
+    return c;
+}
+
+} // namespace mirage::bench

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * QML / optimization benchmark family: Grover-SAT, portfolio QAOA,
+ * swap-test and KNN kernels.
+ */
+
+#include <cmath>
+
+#include "bench_circuits/generators.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mirage::bench {
+
+using linalg::kPi;
+
+Circuit
+satGrover(int n)
+{
+    // Grover search over 4 variables for a small CNF; the oracle ANDs
+    // clause results into ancillas with CCX cascades (QASMBench 'sat'
+    // style). Qubits: 4 variables, 6 clause/work ancillas, 1 phase qubit.
+    MIRAGE_ASSERT(n == 11, "satGrover is defined on 11 qubits");
+    Circuit c(n, "sat_n11");
+    const int vars = 4;
+    const int phase = n - 1;
+
+    for (int q = 0; q < vars; ++q)
+        c.h(q);
+    c.x(phase);
+    c.h(phase);
+
+    auto oracle = [&]() {
+        // Clauses (v0 | v1), (~v1 | v2), (v2 | v3), (v0 | v3) computed
+        // into ancillas 4..7, AND-reduced into 8..9, then kicked back.
+        auto clause_or = [&](int a, bool na, int b, bool nb, int anc) {
+            if (na)
+                c.x(a);
+            if (nb)
+                c.x(b);
+            c.x(anc);
+            c.ccx(a, b, anc);
+            c.cx(a, anc);
+            c.cx(b, anc);
+            if (na)
+                c.x(a);
+            if (nb)
+                c.x(b);
+        };
+        clause_or(0, false, 1, false, 4);
+        clause_or(1, true, 2, false, 5);
+        clause_or(2, false, 3, false, 6);
+        clause_or(0, false, 3, false, 7);
+        c.ccx(4, 5, 8);
+        c.ccx(6, 7, 9);
+        c.ccx(8, 9, phase);
+        // Uncompute.
+        c.ccx(6, 7, 9);
+        c.ccx(4, 5, 8);
+        clause_or(0, false, 3, false, 7);
+        clause_or(2, false, 3, false, 6);
+        clause_or(1, true, 2, false, 5);
+        clause_or(0, false, 1, false, 4);
+    };
+
+    auto diffusion = [&]() {
+        for (int q = 0; q < vars; ++q) {
+            c.h(q);
+            c.x(q);
+        }
+        // Multi-controlled Z via CCX cascade into ancilla 8.
+        c.ccx(0, 1, 8);
+        c.h(3);
+        c.ccx(2, 8, 3);
+        c.h(3);
+        c.ccx(0, 1, 8);
+        for (int q = 0; q < vars; ++q) {
+            c.x(q);
+            c.h(q);
+        }
+    };
+
+    for (int iter = 0; iter < 2; ++iter) {
+        oracle();
+        diffusion();
+    }
+    return c;
+}
+
+Circuit
+portfolioQaoa(int n, int p, uint64_t seed)
+{
+    // QAOA for portfolio optimization: the covariance term makes the
+    // interaction graph complete, so every layer has n(n-1)/2 RZZ gates.
+    Circuit c(n, "portfolioqaoa_n" + std::to_string(n));
+    Rng rng(seed);
+    std::vector<double> gamma, beta;
+    for (int layer = 0; layer < p; ++layer) {
+        gamma.push_back(rng.uniform(0, 2 * kPi));
+        beta.push_back(rng.uniform(0, kPi));
+    }
+
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int layer = 0; layer < p; ++layer) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = i + 1; j < n; ++j) {
+                double w = rng.uniform(0.1, 1.0);
+                c.rzz(gamma[size_t(layer)] * w, i, j);
+            }
+        }
+        for (int q = 0; q < n; ++q)
+            c.rx(2.0 * beta[size_t(layer)], q);
+    }
+    return c;
+}
+
+Circuit
+swapTest(int n)
+{
+    // 1 ancilla + two (n-1)/2 qubit registers compared via controlled
+    // SWAPs.
+    MIRAGE_ASSERT(n % 2 == 1, "swapTest needs an odd qubit count");
+    const int w = (n - 1) / 2;
+    Circuit c(n, "swap_test_n" + std::to_string(n));
+    const int anc = 0;
+    auto ra = [](int i) { return 1 + i; };
+    auto rb = [w](int i) { return 1 + w + i; };
+
+    Rng rng(23);
+    for (int i = 0; i < w; ++i) {
+        c.ry(rng.uniform(0, kPi), ra(i));
+        c.ry(rng.uniform(0, kPi), rb(i));
+    }
+    c.h(anc);
+    for (int i = 0; i < w; ++i)
+        c.cswap(anc, ra(i), rb(i));
+    c.h(anc);
+    return c;
+}
+
+Circuit
+knn(int n)
+{
+    // Swap-test based KNN kernel: same interference structure with a
+    // feature-encoding layer (RY + entangling CX chain) on each register.
+    MIRAGE_ASSERT(n % 2 == 1, "knn needs an odd qubit count");
+    const int w = (n - 1) / 2;
+    Circuit c(n, "knn_n" + std::to_string(n));
+    const int anc = 0;
+    auto ra = [](int i) { return 1 + i; };
+    auto rb = [w](int i) { return 1 + w + i; };
+
+    Rng rng(29);
+    for (int i = 0; i < w; ++i) {
+        c.ry(rng.uniform(0, kPi), ra(i));
+        c.ry(rng.uniform(0, kPi), rb(i));
+    }
+    c.h(anc);
+    for (int i = 0; i < w; ++i)
+        c.cswap(anc, ra(i), rb(i));
+    c.h(anc);
+    return c;
+}
+
+} // namespace mirage::bench

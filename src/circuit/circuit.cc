@@ -1,0 +1,109 @@
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mirage::circuit {
+
+void
+Circuit::append(Gate g)
+{
+    for (int q : g.qubits) {
+        MIRAGE_ASSERT(q >= 0 && q < numQubits_,
+                      "gate %s operand %d out of range (n=%d)",
+                      g.name().c_str(), q, numQubits_);
+    }
+    if (g.numQubits() >= 2) {
+        for (size_t i = 0; i < g.qubits.size(); ++i)
+            for (size_t j = i + 1; j < g.qubits.size(); ++j)
+                MIRAGE_ASSERT(g.qubits[i] != g.qubits[j],
+                              "repeated operand in %s", g.name().c_str());
+    }
+    gates_.push_back(std::move(g));
+}
+
+int
+Circuit::twoQubitGateCount() const
+{
+    int n = 0;
+    for (const auto &g : gates_) {
+        if (!g.isBarrier() && g.numQubits() >= 2)
+            ++n;
+    }
+    return n;
+}
+
+int
+Circuit::gateCount() const
+{
+    int n = 0;
+    for (const auto &g : gates_) {
+        if (!g.isBarrier())
+            ++n;
+    }
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(size_t(numQubits_), 0);
+    int depth = 0;
+    for (const auto &g : gates_) {
+        if (g.isBarrier())
+            continue;
+        int start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, level[size_t(q)]);
+        for (int q : g.qubits)
+            level[size_t(q)] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+int
+Circuit::countKind(GateKind kind) const
+{
+    int n = 0;
+    for (const auto &g : gates_) {
+        if (g.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+Circuit
+Circuit::reversed() const
+{
+    Circuit r(numQubits_, name_ + "_rev");
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+        r.append(*it);
+    return r;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out = name_ + " (" + std::to_string(numQubits_) + " qubits, " +
+                      std::to_string(gates_.size()) + " gates)\n";
+    for (const auto &g : gates_) {
+        out += "  " + g.name();
+        for (int q : g.qubits)
+            out += " q" + std::to_string(q);
+        if (!g.params.empty()) {
+            out += " (";
+            for (size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += std::to_string(g.params[i]);
+            }
+            out += ")";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace mirage::circuit

@@ -1,0 +1,122 @@
+#include "circuit/qasm.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "weyl/catalog.hh"
+#include "weyl/kak.hh"
+
+namespace mirage::circuit {
+
+namespace {
+
+std::string
+fmt(double x)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", x);
+    return buf;
+}
+
+void
+emitU3(std::string &out, const Mat2 &m, int q)
+{
+    auto ang = weyl::eulerZYZ(m);
+    out += "u3(" + fmt(ang[0]) + "," + fmt(ang[1]) + "," + fmt(ang[2]) +
+           ") q[" + std::to_string(q) + "];\n";
+}
+
+void
+emitRzz(std::string &out, double theta, int a, int b)
+{
+    out += "rzz(" + fmt(theta) + ") q[" + std::to_string(a) + "],q[" +
+           std::to_string(b) + "];\n";
+}
+
+void
+emitRyyViaRzz(std::string &out, double theta, int a, int b)
+{
+    // YY = (RX(pi/2) (x) RX(pi/2)) ZZ (RX(-pi/2) (x) RX(-pi/2)).
+    out += "rx(-pi/2) q[" + std::to_string(a) + "];\n";
+    out += "rx(-pi/2) q[" + std::to_string(b) + "];\n";
+    emitRzz(out, theta, a, b);
+    out += "rx(pi/2) q[" + std::to_string(a) + "];\n";
+    out += "rx(pi/2) q[" + std::to_string(b) + "];\n";
+}
+
+void
+emitUnitary2(std::string &out, const Gate &g)
+{
+    // KAK: U = e^{i phase} (l1 x l2) CAN(a,b,c) (r1 x r2) with
+    // CAN(a,b,c) = rxx(-2a) ryy(-2b) rzz(-2c).
+    weyl::KakDecomposition kak = weyl::kakDecompose(*g.mat4);
+    int qa = g.qubits[0], qb = g.qubits[1];
+    emitU3(out, kak.r1, qa);
+    emitU3(out, kak.r2, qb);
+    out += "rxx(" + fmt(-2.0 * kak.coords.a) + ") q[" + std::to_string(qa) +
+           "],q[" + std::to_string(qb) + "];\n";
+    if (kak.coords.b != 0.0)
+        emitRyyViaRzz(out, -2.0 * kak.coords.b, qa, qb);
+    if (kak.coords.c != 0.0)
+        emitRzz(out, -2.0 * kak.coords.c, qa, qb);
+    emitU3(out, kak.l1, qa);
+    emitU3(out, kak.l2, qb);
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::string out;
+    out += "OPENQASM 2.0;\n";
+    out += "include \"qelib1.inc\";\n";
+    out += "qreg q[" + std::to_string(circuit.numQubits()) + "];\n";
+
+    for (const auto &g : circuit.gates()) {
+        if (g.isBarrier()) {
+            out += "barrier q;\n";
+            continue;
+        }
+        switch (g.kind) {
+          case GateKind::Unitary1Q:
+            emitU3(out, *g.mat2, g.qubits[0]);
+            break;
+          case GateKind::Unitary2Q:
+            emitUnitary2(out, g);
+            break;
+          case GateKind::RootISWAP: {
+            // No qelib1 primitive; emit as the equivalent XX+YY rotation.
+            double t = linalg::kPi / (4.0 * g.params.at(0));
+            out += "rxx(" + fmt(-2.0 * t) + ") q[" +
+                   std::to_string(g.qubits[0]) + "],q[" +
+                   std::to_string(g.qubits[1]) + "];\n";
+            emitRyyViaRzz(out, -2.0 * t, g.qubits[0], g.qubits[1]);
+            break;
+          }
+          default: {
+            out += g.name();
+            if (!g.params.empty()) {
+                out += "(";
+                for (size_t i = 0; i < g.params.size(); ++i) {
+                    if (i)
+                        out += ",";
+                    out += fmt(g.params[i]);
+                }
+                out += ")";
+            }
+            out += " ";
+            for (size_t i = 0; i < g.qubits.size(); ++i) {
+                if (i)
+                    out += ",";
+                out += "q[" + std::to_string(g.qubits[i]) + "]";
+            }
+            out += ";\n";
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+} // namespace mirage::circuit

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * OpenQASM 2.0 export.
+ *
+ * Standard gates map directly; Unitary1Q/Unitary2Q blocks are emitted via
+ * their ZYZ / KAK parameters so the output is loadable by any QASM 2
+ * toolchain (CNOT basis for the KAK core).
+ */
+
+#ifndef MIRAGE_CIRCUIT_QASM_HH
+#define MIRAGE_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace mirage::circuit {
+
+/** Serialize a circuit as OpenQASM 2.0. */
+std::string toQasm(const Circuit &circuit);
+
+} // namespace mirage::circuit
+
+#endif // MIRAGE_CIRCUIT_QASM_HH

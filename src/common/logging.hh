@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Status / error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user-caused conditions (bad arguments, impossible
+ * configuration) and exits cleanly; panic() is for internal invariant
+ * violations (library bugs) and aborts. warn()/inform() never stop
+ * execution.
+ */
+
+#ifndef MIRAGE_COMMON_LOGGING_HH
+#define MIRAGE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mirage {
+
+/** Print an error caused by the user and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print an internal-bug error and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print a warning; execution continues. */
+void warn(const char *fmt, ...);
+
+/** Print a status message; execution continues. */
+void inform(const char *fmt, ...);
+
+/**
+ * Internal invariant check. Unlike assert() this is active in all build
+ * types; use for cheap checks guarding algorithm correctness.
+ */
+#define MIRAGE_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::mirage::panic("assertion '%s' failed at %s:%d: " __VA_ARGS__,\
+                            #cond, __FILE__, __LINE__);                    \
+    } while (0)
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_LOGGING_HH

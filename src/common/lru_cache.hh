@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Small LRU cache template.
+ *
+ * MIRAGE's cost model queries monodromy coverage polytopes for the same
+ * quantized Weyl coordinates over and over while routing (Section VI-C of
+ * the paper); an LRU lookup table makes each coordinate pay the polytope
+ * iteration price only once.
+ */
+
+#ifndef MIRAGE_COMMON_LRU_CACHE_HH
+#define MIRAGE_COMMON_LRU_CACHE_HH
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace mirage {
+
+/**
+ * Fixed-capacity least-recently-used cache.
+ *
+ * @tparam Key   hashable key type
+ * @tparam Value copyable value type
+ */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache
+{
+  public:
+    explicit LruCache(size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+    /** Look up a key, refreshing its recency on hit. */
+    std::optional<Value>
+    get(const Key &key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            return std::nullopt;
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second);
+        return it->second->second;
+    }
+
+    /** Insert or overwrite a key. */
+    void
+    put(const Key &key, const Value &value)
+    {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second->second = value;
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        order_.emplace_front(key, value);
+        map_[key] = order_.begin();
+        if (map_.size() > capacity_) {
+            map_.erase(order_.back().first);
+            order_.pop_back();
+        }
+    }
+
+    size_t size() const { return map_.size(); }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    void
+    clear()
+    {
+        map_.clear();
+        order_.clear();
+        hits_ = misses_ = 0;
+    }
+
+  private:
+    size_t capacity_;
+    std::list<std::pair<Key, Value>> order_;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_LRU_CACHE_HH

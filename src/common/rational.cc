@@ -1,0 +1,146 @@
+#include "common/rational.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mirage {
+
+namespace {
+
+__int128
+gcdWide(__int128 a, __int128 b)
+{
+    if (a < 0)
+        a = -a;
+    if (b < 0)
+        b = -b;
+    while (b != 0) {
+        __int128 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+Rational::Rational(int64_t num, int64_t den)
+{
+    MIRAGE_ASSERT(den != 0, "rational with zero denominator");
+    *this = fromWide(num, den);
+}
+
+Rational
+Rational::fromWide(__int128 num, __int128 den)
+{
+    MIRAGE_ASSERT(den != 0, "rational with zero denominator");
+    if (den < 0) {
+        num = -num;
+        den = -den;
+    }
+    __int128 g = gcdWide(num, den);
+    if (g > 1) {
+        num /= g;
+        den /= g;
+    }
+    const __int128 lo = std::numeric_limits<int64_t>::min();
+    const __int128 hi = std::numeric_limits<int64_t>::max();
+    if (num < lo || num > hi || den > hi)
+        panic("rational overflow after reduction");
+    Rational r;
+    r.num_ = int64_t(num);
+    r.den_ = int64_t(den);
+    return r;
+}
+
+std::string
+Rational::toString() const
+{
+    if (den_ == 1)
+        return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational
+Rational::approximate(double x, int64_t max_den)
+{
+    MIRAGE_ASSERT(max_den >= 1, "bad max denominator");
+    MIRAGE_ASSERT(std::isfinite(x), "approximating non-finite value");
+
+    bool neg = x < 0;
+    double v = neg ? -x : x;
+
+    // Continued-fraction convergents p_k/q_k until the denominator budget
+    // is exhausted; the last admissible convergent is the best approximant.
+    int64_t p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+    double frac = v;
+    for (int iter = 0; iter < 64; ++iter) {
+        double fl = std::floor(frac);
+        if (fl > 9.0e17)
+            break;
+        int64_t a = int64_t(fl);
+        // p2 = a*p1 + p0 with overflow care in 128-bit.
+        __int128 p2 = __int128(a) * p1 + p0;
+        __int128 q2 = __int128(a) * q1 + q0;
+        if (q2 > max_den || p2 > std::numeric_limits<int64_t>::max())
+            break;
+        p0 = p1;
+        q0 = q1;
+        p1 = int64_t(p2);
+        q1 = int64_t(q2);
+        double rem = frac - fl;
+        if (rem < 1e-15)
+            break;
+        frac = 1.0 / rem;
+    }
+    if (q1 == 0)
+        return Rational(neg ? -p0 : p0, q0 == 0 ? 1 : q0);
+    return Rational(neg ? -p1 : p1, q1);
+}
+
+Rational
+Rational::operator-() const
+{
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+}
+
+Rational
+Rational::operator+(const Rational &o) const
+{
+    return fromWide(__int128(num_) * o.den_ + __int128(o.num_) * den_,
+                    __int128(den_) * o.den_);
+}
+
+Rational
+Rational::operator-(const Rational &o) const
+{
+    return fromWide(__int128(num_) * o.den_ - __int128(o.num_) * den_,
+                    __int128(den_) * o.den_);
+}
+
+Rational
+Rational::operator*(const Rational &o) const
+{
+    return fromWide(__int128(num_) * o.num_, __int128(den_) * o.den_);
+}
+
+Rational
+Rational::operator/(const Rational &o) const
+{
+    MIRAGE_ASSERT(o.num_ != 0, "rational division by zero");
+    return fromWide(__int128(num_) * o.den_, __int128(den_) * o.num_);
+}
+
+bool
+Rational::operator<(const Rational &o) const
+{
+    return __int128(num_) * o.den_ < __int128(o.num_) * den_;
+}
+
+} // namespace mirage

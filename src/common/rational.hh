@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exact rational arithmetic on 64-bit numerator/denominator.
+ *
+ * Used by the polytope kernel to snap facet coefficients derived from
+ * floating-point convex hulls onto exact values (in units of pi/4) and to
+ * evaluate membership predicates without accumulating rounding error.
+ * Intermediate products are computed in __int128; overflow of the reduced
+ * representation is a hard error (panic), which in practice never fires for
+ * the small coefficients monodromy facets have.
+ */
+
+#ifndef MIRAGE_COMMON_RATIONAL_HH
+#define MIRAGE_COMMON_RATIONAL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mirage {
+
+/**
+ * An exact rational number p/q with q > 0 and gcd(|p|, q) == 1.
+ */
+class Rational
+{
+  public:
+    Rational() : num_(0), den_(1) {}
+    Rational(int64_t value) : num_(value), den_(1) {}
+    Rational(int64_t num, int64_t den);
+
+    int64_t num() const { return num_; }
+    int64_t den() const { return den_; }
+
+    double toDouble() const { return double(num_) / double(den_); }
+    std::string toString() const;
+
+    /**
+     * Best rational approximation of x with denominator <= max_den
+     * (Stern-Brocot / continued-fraction expansion).
+     */
+    static Rational approximate(double x, int64_t max_den);
+
+    Rational operator-() const;
+    Rational operator+(const Rational &o) const;
+    Rational operator-(const Rational &o) const;
+    Rational operator*(const Rational &o) const;
+    Rational operator/(const Rational &o) const;
+
+    Rational &operator+=(const Rational &o) { return *this = *this + o; }
+    Rational &operator-=(const Rational &o) { return *this = *this - o; }
+    Rational &operator*=(const Rational &o) { return *this = *this * o; }
+    Rational &operator/=(const Rational &o) { return *this = *this / o; }
+
+    bool operator==(const Rational &o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+    bool operator!=(const Rational &o) const { return !(*this == o); }
+    bool operator<(const Rational &o) const;
+    bool operator>(const Rational &o) const { return o < *this; }
+    bool operator<=(const Rational &o) const { return !(o < *this); }
+    bool operator>=(const Rational &o) const { return !(*this < o); }
+
+    bool isZero() const { return num_ == 0; }
+    int sign() const { return num_ > 0 ? 1 : (num_ < 0 ? -1 : 0); }
+    Rational abs() const { return num_ < 0 ? -*this : *this; }
+
+  private:
+    static Rational fromWide(__int128 num, __int128 den);
+
+    int64_t num_;
+    int64_t den_;
+};
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_RATIONAL_HH

@@ -1,0 +1,7 @@
+#include "common/rng.hh"
+
+// Rng is header-only today; this translation unit anchors the module so the
+// build file stays stable if out-of-line members are added later.
+
+namespace mirage {
+} // namespace mirage

@@ -1,0 +1,149 @@
+#include "decomp/ansatz.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mirage::decomp {
+
+namespace {
+
+/** U3 and its three partial derivatives. */
+struct U3WithGrad
+{
+    Mat2 u;
+    Mat2 dt; ///< d/dtheta
+    Mat2 dp; ///< d/dphi
+    Mat2 dl; ///< d/dlambda
+};
+
+U3WithGrad
+u3WithGrad(double theta, double phi, double lambda)
+{
+    const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    const Complex el = std::polar(1.0, lambda);
+    const Complex ep = std::polar(1.0, phi);
+    const Complex epl = std::polar(1.0, phi + lambda);
+    const Complex i(0, 1);
+
+    U3WithGrad out;
+    out.u(0, 0) = c;
+    out.u(0, 1) = -el * s;
+    out.u(1, 0) = ep * s;
+    out.u(1, 1) = epl * c;
+
+    out.dt(0, 0) = -s / 2.0;
+    out.dt(0, 1) = -el * (c / 2.0);
+    out.dt(1, 0) = ep * (c / 2.0);
+    out.dt(1, 1) = -epl * (s / 2.0);
+
+    out.dp(1, 0) = i * ep * s;
+    out.dp(1, 1) = i * epl * c;
+
+    out.dl(0, 1) = -i * el * s;
+    out.dl(1, 1) = i * epl * c;
+    return out;
+}
+
+Complex
+traceDaggerProduct(const Mat4 &a, const Mat4 &m)
+{
+    // tr(a^dagger m)
+    Complex s(0);
+    for (size_t i = 0; i < 16; ++i)
+        s += std::conj(a.a[i]) * m.a[i];
+    return s;
+}
+
+} // namespace
+
+Mat4
+buildAnsatz(const Mat4 &basis, int k, const std::vector<double> &params)
+{
+    MIRAGE_ASSERT(int(params.size()) == ansatzParamCount(k),
+                  "ansatz parameter count mismatch");
+    using linalg::kron;
+    using weylu3 = Mat2; // readability alias
+    (void)sizeof(weylu3);
+
+    auto layer = [&](int i) {
+        const double *p = params.data() + 6 * i;
+        U3WithGrad a = u3WithGrad(p[0], p[1], p[2]);
+        U3WithGrad b = u3WithGrad(p[3], p[4], p[5]);
+        return kron(a.u, b.u);
+    };
+
+    Mat4 v = layer(0);
+    for (int i = 1; i <= k; ++i)
+        v = layer(i) * (basis * v);
+    return v;
+}
+
+double
+ansatzFidelity(const Mat4 &target, const Mat4 &basis, int k,
+               const std::vector<double> &params, std::vector<double> *grad)
+{
+    MIRAGE_ASSERT(int(params.size()) == ansatzParamCount(k),
+                  "ansatz parameter count mismatch");
+    using linalg::kron;
+
+    const int m = 2 * k; // factor positions 0..m
+    const int nfac = m + 1;
+
+    // Layer matrices and their per-parameter derivative pieces.
+    std::vector<U3WithGrad> la(size_t(k + 1)), lb(static_cast<size_t>(k + 1));
+    for (int i = 0; i <= k; ++i) {
+        const double *p = params.data() + 6 * i;
+        la[size_t(i)] = u3WithGrad(p[0], p[1], p[2]);
+        lb[size_t(i)] = u3WithGrad(p[3], p[4], p[5]);
+    }
+
+    auto factor = [&](int j) -> Mat4 {
+        if (j % 2 == 1)
+            return basis;
+        int i = j / 2;
+        return kron(la[size_t(i)].u, lb[size_t(i)].u);
+    };
+
+    // Suffix products: suffix[j] = F_m ... F_{j+1}; prefix[j] = F_{j-1}..F_0.
+    std::vector<Mat4> suffix(static_cast<size_t>(nfac));
+    suffix[size_t(m)] = Mat4::identity();
+    for (int j = m - 1; j >= 0; --j)
+        suffix[size_t(j)] = suffix[size_t(j + 1)] * factor(j + 1);
+
+    std::vector<Mat4> prefix(static_cast<size_t>(nfac));
+    prefix[0] = Mat4::identity();
+    for (int j = 1; j <= m; ++j)
+        prefix[size_t(j)] = factor(j - 1) * prefix[size_t(j - 1)];
+
+    Mat4 v = suffix[0] * factor(0);
+    Complex g = traceDaggerProduct(v, target);
+    double fid = std::norm(g) / 16.0;
+
+    if (grad) {
+        grad->assign(size_t(ansatzParamCount(k)), 0.0);
+        for (int i = 0; i <= k; ++i) {
+            int j = 2 * i;
+            // M = suffix[j]^dagger * target * prefix[j]^dagger
+            Mat4 mj = suffix[size_t(j)].dagger() * target *
+                      prefix[size_t(j)].dagger();
+            const U3WithGrad &a = la[size_t(i)];
+            const U3WithGrad &b = lb[size_t(i)];
+            const Mat2 *da[3] = {&a.dt, &a.dp, &a.dl};
+            const Mat2 *db[3] = {&b.dt, &b.dp, &b.dl};
+            for (int p = 0; p < 3; ++p) {
+                Complex dg = traceDaggerProduct(kron(*da[p], b.u), mj);
+                (*grad)[size_t(6 * i + p)] =
+                    2.0 / 16.0 * (std::conj(g) * dg).real();
+            }
+            for (int p = 0; p < 3; ++p) {
+                Complex dg = traceDaggerProduct(kron(a.u, *db[p]), mj);
+                (*grad)[size_t(6 * i + 3 + p)] =
+                    2.0 / 16.0 * (std::conj(g) * dg).real();
+            }
+        }
+    }
+    return fid;
+}
+
+} // namespace mirage::decomp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Interleaved circuit ansatz for numerical decomposition.
+ *
+ * The ansatz is the standard Cartan form (paper Fig. 2): k applications of
+ * the 2Q basis gate interleaved with k+1 layers of arbitrary single-qubit
+ * pairs, each parametrized by U3 Euler angles:
+ *
+ *   V(p) = L_k B L_{k-1} B ... L_1 B L_0,   L_i = U3(a_i) (x) U3(b_i)
+ *
+ * 6(k+1) real parameters. The objective is PU(4) process fidelity against
+ * a target; gradients are computed analytically via prefix/suffix
+ * products, which is what makes the Monte Carlo experiments (Fig. 5,
+ * Table II) fast enough.
+ */
+
+#ifndef MIRAGE_DECOMP_ANSATZ_HH
+#define MIRAGE_DECOMP_ANSATZ_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace mirage::decomp {
+
+using linalg::Complex;
+using linalg::Mat2;
+using linalg::Mat4;
+
+/** Number of parameters for a k-application ansatz. */
+inline int
+ansatzParamCount(int k)
+{
+    return 6 * (k + 1);
+}
+
+/** Build V(p) for k applications of `basis`. */
+Mat4 buildAnsatz(const Mat4 &basis, int k, const std::vector<double> &params);
+
+/**
+ * Process fidelity |tr(V(p)^dagger target)|^2 / 16 and (optionally) its
+ * gradient with respect to all parameters.
+ */
+double ansatzFidelity(const Mat4 &target, const Mat4 &basis, int k,
+                      const std::vector<double> &params,
+                      std::vector<double> *grad = nullptr);
+
+} // namespace mirage::decomp
+
+#endif // MIRAGE_DECOMP_ANSATZ_HH

@@ -1,0 +1,100 @@
+#include "decomp/equivalence.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "weyl/catalog.hh"
+
+namespace mirage::decomp {
+
+using circuit::Circuit;
+using circuit::Gate;
+using linalg::Mat4;
+
+namespace {
+
+uint64_t
+quantizeKey(const Mat4 &m)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &entry : m.a) {
+        auto mix = [&h](double v) {
+            h ^= uint64_t(int64_t(std::llround(v * 1e9)));
+            h *= 0x100000001b3ULL;
+        };
+        mix(entry.real());
+        mix(entry.imag());
+    }
+    return h;
+}
+
+} // namespace
+
+EquivalenceLibrary::EquivalenceLibrary(int root_degree)
+    : rootDegree_(root_degree),
+      basisMatrix_(weyl::gateRootISWAP(root_degree)),
+      costModel_(monodromy::coverageForRootIswap(root_degree)),
+      rng_(0xE91ULL ^ uint64_t(root_degree))
+{
+    // Pre-seed the standard rules the paper installs: CNOT, its mirror
+    // CNS, SWAP, and iSWAP.
+    (void)lookup(weyl::gateCX());
+    (void)lookup(weyl::gateCNS());
+    (void)lookup(weyl::gateSWAP());
+    (void)lookup(weyl::gateISWAP());
+}
+
+const Decomposition &
+EquivalenceLibrary::lookup(const Mat4 &u)
+{
+    uint64_t key = quantizeKey(u);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    // The cost model gives the exact pulse count; fit the ansatz at that
+    // depth (with one extra-depth fallback guarding optimizer misses).
+    weyl::Coord coords = weyl::weylCoordinates(u);
+    int k = costModel_.kFor(coords);
+    FitOptions opts;
+    opts.restarts = 4;
+    opts.adamIterations = 350;
+    opts.targetInfidelity = 1e-11;
+    Decomposition d = decomposeWithK(u, basisMatrix_, k, rng_, opts);
+    if (1.0 - d.fidelity > 1e-7) {
+        Decomposition retry =
+            decomposeWithK(u, basisMatrix_, k + 1, rng_, opts);
+        if (retry.fidelity > d.fidelity)
+            d = retry;
+    }
+    return cache_.emplace(key, std::move(d)).first->second;
+}
+
+Circuit
+EquivalenceLibrary::translate(const Circuit &input, TranslateStats *stats)
+{
+    Circuit out(input.numQubits(), input.name() + "_basis");
+    TranslateStats local;
+    for (const auto &g : input.gates()) {
+        if (g.isBarrier() || g.isOneQubit()) {
+            out.append(g);
+            continue;
+        }
+        MIRAGE_ASSERT(g.isTwoQubit(),
+                      "translate requires <= 2Q gates (unroll first)");
+        size_t before = cache_.size();
+        const Decomposition &d = lookup(g.matrix4());
+        if (cache_.size() == before)
+            ++local.cacheHits;
+        appendDecomposition(out, d, rootDegree_, g.qubits[0], g.qubits[1]);
+        ++local.blocksTranslated;
+        local.worstInfidelity =
+            std::max(local.worstInfidelity, 1.0 - d.fidelity);
+        local.totalPulses += d.k;
+    }
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace mirage::decomp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Session equivalence library and basis translation (paper Section V).
+ *
+ * The paper adds CNOT and SWAP -> sqrt(iSWAP) rules to Qiskit's session
+ * equivalence library for final circuit output. Here the library caches
+ * fitted decompositions keyed by quantized unitary, seeded with the
+ * standard gates (CNOT, CNS, SWAP, iSWAP), and translateToBasis() lowers
+ * a routed circuit -- including mirrored Unitary2Q blocks -- into
+ * RootISWAP pulses plus single-qubit unitaries.
+ */
+
+#ifndef MIRAGE_DECOMP_EQUIVALENCE_HH
+#define MIRAGE_DECOMP_EQUIVALENCE_HH
+
+#include "circuit/circuit.hh"
+#include "decomp/numerical.hh"
+#include "monodromy/cost_model.hh"
+
+namespace mirage::decomp {
+
+/** Statistics from one translation run. */
+struct TranslateStats
+{
+    int blocksTranslated = 0;
+    int cacheHits = 0;
+    double worstInfidelity = 0; ///< max 1 - fidelity over all blocks
+    double totalPulses = 0;     ///< emitted RootISWAP count
+};
+
+/**
+ * Cached decomposition database for one basis gate.
+ */
+class EquivalenceLibrary
+{
+  public:
+    /** Build for the n-th root of iSWAP, pre-seeding standard gates. */
+    explicit EquivalenceLibrary(int root_degree);
+
+    int rootDegree() const { return rootDegree_; }
+
+    /**
+     * Decomposition of an arbitrary 2Q unitary into k basis pulses with
+     * k taken from the monodromy cost model (cached by quantized
+     * unitary).
+     */
+    const Decomposition &lookup(const linalg::Mat4 &u);
+
+    /**
+     * Lower every 2Q gate of a circuit into RootISWAP + Unitary1Q gates.
+     * One-qubit gates pass through unchanged.
+     */
+    circuit::Circuit translate(const circuit::Circuit &input,
+                               TranslateStats *stats = nullptr);
+
+  private:
+    int rootDegree_;
+    linalg::Mat4 basisMatrix_;
+    monodromy::CostModel costModel_;
+    Rng rng_;
+    std::unordered_map<uint64_t, Decomposition> cache_;
+};
+
+} // namespace mirage::decomp
+
+#endif // MIRAGE_DECOMP_EQUIVALENCE_HH

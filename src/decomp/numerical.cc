@@ -1,0 +1,65 @@
+#include "decomp/numerical.hh"
+
+#include "common/logging.hh"
+#include "decomp/ansatz.hh"
+#include "weyl/catalog.hh"
+
+namespace mirage::decomp {
+
+Decomposition
+decomposeWithK(const Mat4 &target, const Mat4 &basis, int k, Rng &rng,
+               const FitOptions &opts)
+{
+    Decomposition d;
+    d.k = k;
+    if (k == 0) {
+        // Only local: fidelity of the best L0 fit. Optimize the k=0
+        // ansatz (a single local layer).
+        AnsatzFit fit = fitAnsatz(target, basis, 0, rng, opts);
+        d.fidelity = fit.fidelity;
+        d.params = fit.params;
+        return d;
+    }
+    AnsatzFit fit = fitAnsatz(target, basis, k, rng, opts);
+    d.fidelity = fit.fidelity;
+    d.params = fit.params;
+    return d;
+}
+
+Decomposition
+decomposeMinimal(const Mat4 &target, const Mat4 &basis, int max_k,
+                 double min_fidelity, Rng &rng, const FitOptions &opts)
+{
+    Decomposition best;
+    best.fidelity = -1;
+    for (int k = 0; k <= max_k; ++k) {
+        Decomposition d = decomposeWithK(target, basis, k, rng, opts);
+        if (d.fidelity > best.fidelity)
+            best = d;
+        if (d.fidelity >= min_fidelity)
+            return d;
+    }
+    return best;
+}
+
+void
+appendDecomposition(circuit::Circuit &circ, const Decomposition &d,
+                    int root_degree, int qa, int qb)
+{
+    MIRAGE_ASSERT(int(d.params.size()) == ansatzParamCount(d.k),
+                  "malformed decomposition");
+    auto layer = [&](int i) {
+        const double *p = d.params.data() + 6 * i;
+        circ.append(circuit::makeUnitary1(
+            qa, weyl::gateU3(p[0], p[1], p[2])));
+        circ.append(circuit::makeUnitary1(
+            qb, weyl::gateU3(p[3], p[4], p[5])));
+    };
+    layer(0);
+    for (int i = 1; i <= d.k; ++i) {
+        circ.riswap(root_degree, qa, qb);
+        layer(i);
+    }
+}
+
+} // namespace mirage::decomp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Numerical decomposition front-end: express a two-qubit target in k
+ * applications of a basis gate, either exactly (fidelity ~1) or as the
+ * best achievable approximation for a given k (used by the approximate
+ * decomposition experiments, paper Algorithm 1 / Table II).
+ */
+
+#ifndef MIRAGE_DECOMP_NUMERICAL_HH
+#define MIRAGE_DECOMP_NUMERICAL_HH
+
+#include "circuit/circuit.hh"
+#include "decomp/optimize.hh"
+
+namespace mirage::decomp {
+
+/** A fitted decomposition of a 2Q target. */
+struct Decomposition
+{
+    int k = 0;                  ///< basis applications used
+    double fidelity = 0;        ///< achieved process fidelity
+    std::vector<double> params; ///< 6(k+1) U3 angles
+};
+
+/** Best fit with exactly k basis applications. */
+Decomposition decomposeWithK(const Mat4 &target, const Mat4 &basis, int k,
+                             Rng &rng, const FitOptions &opts = {});
+
+/**
+ * Smallest k in [0, max_k] whose fit reaches `min_fidelity`; the fit for
+ * that k is returned (or the best found at max_k when none reaches it).
+ */
+Decomposition decomposeMinimal(const Mat4 &target, const Mat4 &basis,
+                               int max_k, double min_fidelity, Rng &rng,
+                               const FitOptions &opts = {});
+
+/**
+ * Append the fitted sequence to a circuit as Unitary1Q layers interleaved
+ * with RootISWAP(root_degree) gates on wires (qa, qb).
+ */
+void appendDecomposition(circuit::Circuit &circ, const Decomposition &d,
+                         int root_degree, int qa, int qb);
+
+} // namespace mirage::decomp
+
+#endif // MIRAGE_DECOMP_NUMERICAL_HH

@@ -1,0 +1,97 @@
+#include "geometry/quadrature.hh"
+
+#include <array>
+
+namespace mirage::geometry {
+
+namespace {
+
+/** Degree-2 4-point rule on a tetrahedron. */
+double
+leafRule(const Tetra &t, const DensityFn &f)
+{
+    constexpr double alpha = 0.5854101966249685;
+    constexpr double beta = 0.1381966011250105;
+    double vol = t.volume();
+    if (vol <= 0)
+        return 0;
+    double acc = 0;
+    for (int i = 0; i < 4; ++i) {
+        Vec3 p{0, 0, 0};
+        for (int j = 0; j < 4; ++j) {
+            double w = (i == j) ? alpha : beta;
+            p = p + t.v[size_t(j)] * w;
+        }
+        acc += f(p);
+    }
+    return acc * vol / 4.0;
+}
+
+/** Split a tetrahedron into 8 children via edge midpoints. */
+std::array<Tetra, 8>
+split(const Tetra &t)
+{
+    const Vec3 &v0 = t.v[0], &v1 = t.v[1], &v2 = t.v[2], &v3 = t.v[3];
+    Vec3 m01 = (v0 + v1) * 0.5, m02 = (v0 + v2) * 0.5, m03 = (v0 + v3) * 0.5;
+    Vec3 m12 = (v1 + v2) * 0.5, m13 = (v1 + v3) * 0.5, m23 = (v2 + v3) * 0.5;
+    return {
+        Tetra{{v0, m01, m02, m03}}, Tetra{{m01, v1, m12, m13}},
+        Tetra{{m02, m12, v2, m23}}, Tetra{{m03, m13, m23, v3}},
+        // Interior octahedron split along the m01-m23 diagonal.
+        Tetra{{m01, m02, m03, m23}}, Tetra{{m01, m02, m12, m23}},
+        Tetra{{m01, m03, m13, m23}}, Tetra{{m01, m12, m13, m23}},
+    };
+}
+
+double
+integrateRec(const Tetra &t, const DensityFn &f, int depth)
+{
+    if (depth <= 0)
+        return leafRule(t, f);
+    double acc = 0;
+    for (const auto &child : split(t))
+        acc += integrateRec(child, f, depth - 1);
+    return acc;
+}
+
+} // namespace
+
+double
+integrateTetra(const Tetra &t, const DensityFn &f, int depth)
+{
+    return integrateRec(t, f, depth);
+}
+
+double
+integratePolytope(const Polytope &p, const DensityFn &f, int depth)
+{
+    double acc = 0;
+    for (const auto &t : p.tetrahedralize())
+        acc += integrateRec(t, f, depth);
+    return acc;
+}
+
+double
+integrateUnion(const std::vector<Polytope> &members, const Polytope &domain,
+               const DensityFn &f, int depth)
+{
+    // Inclusion-exclusion over convex intersections keeps the integrand
+    // smooth on every term, unlike masking with the union's indicator.
+    const size_t n = members.size();
+    double acc = 0;
+    for (size_t mask = 1; mask < (size_t(1) << n); ++mask) {
+        Polytope inter = domain;
+        int bits = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (mask & (size_t(1) << i)) {
+                inter = inter.intersect(members[i]);
+                ++bits;
+            }
+        }
+        double term = integratePolytope(inter, f, depth);
+        acc += (bits % 2 == 1) ? term : -term;
+    }
+    return acc;
+}
+
+} // namespace mirage::geometry

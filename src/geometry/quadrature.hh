@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic quadrature over tetrahedra and polytopes.
+ *
+ * Used to integrate the Haar density over coverage polytopes ("exact"
+ * Haar volumes and scores in the paper's Tables I/II are computed by
+ * polytope integration; here that is uniform tetrahedral subdivision with
+ * a degree-2 rule per leaf, converged well beyond the reported digits).
+ */
+
+#ifndef MIRAGE_GEOMETRY_QUADRATURE_HH
+#define MIRAGE_GEOMETRY_QUADRATURE_HH
+
+#include <functional>
+
+#include "geometry/polytope.hh"
+
+namespace mirage::geometry {
+
+using DensityFn = std::function<double(const Vec3 &)>;
+
+/**
+ * Integrate f over a tetrahedron: uniform subdivision to `depth` levels
+ * (8^depth leaves) with a 4-point degree-2 rule per leaf.
+ */
+double integrateTetra(const Tetra &t, const DensityFn &f, int depth = 2);
+
+/** Integrate f over a polytope (sum over its tetrahedralization). */
+double integratePolytope(const Polytope &p, const DensityFn &f,
+                         int depth = 2);
+
+/**
+ * Integrate f over the region (union of polytopes) intersected with a
+ * bounding polytope `domain`: integrates over the domain's
+ * tetrahedralization with the union's indicator folded into f. Handles
+ * overlapping union members without double counting.
+ */
+double integrateUnion(const std::vector<Polytope> &members,
+                      const Polytope &domain, const DensityFn &f,
+                      int depth = 3);
+
+} // namespace mirage::geometry
+
+#endif // MIRAGE_GEOMETRY_QUADRATURE_HH

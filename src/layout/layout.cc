@@ -1,0 +1,46 @@
+#include "layout/layout.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mirage::layout {
+
+Layout::Layout(int n) : l2p_(size_t(n)), p2l_(size_t(n))
+{
+    std::iota(l2p_.begin(), l2p_.end(), 0);
+    std::iota(p2l_.begin(), p2l_.end(), 0);
+}
+
+Layout::Layout(std::vector<int> logical_to_physical)
+    : l2p_(std::move(logical_to_physical)), p2l_(l2p_.size(), -1)
+{
+    for (size_t l = 0; l < l2p_.size(); ++l) {
+        int p = l2p_[l];
+        MIRAGE_ASSERT(p >= 0 && p < int(l2p_.size()), "bad layout entry");
+        MIRAGE_ASSERT(p2l_[size_t(p)] < 0, "layout is not a bijection");
+        p2l_[size_t(p)] = int(l);
+    }
+}
+
+void
+Layout::swapPhysical(int pa, int pb)
+{
+    int la = p2l_[size_t(pa)];
+    int lb = p2l_[size_t(pb)];
+    std::swap(p2l_[size_t(pa)], p2l_[size_t(pb)]);
+    l2p_[size_t(la)] = pb;
+    l2p_[size_t(lb)] = pa;
+}
+
+Layout
+Layout::random(int n, Rng &rng)
+{
+    std::vector<int> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    return Layout(std::move(perm));
+}
+
+} // namespace mirage::layout

@@ -1,0 +1,179 @@
+#include "layout/vf2.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mirage::layout {
+
+std::vector<std::pair<int, int>>
+interactionEdges(const circuit::Circuit &circuit)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (const auto &g : circuit.gates()) {
+        if (g.isBarrier() || g.numQubits() < 2)
+            continue;
+        for (size_t i = 0; i < g.qubits.size(); ++i) {
+            for (size_t j = i + 1; j < g.qubits.size(); ++j) {
+                int a = g.qubits[i], b = g.qubits[j];
+                if (a > b)
+                    std::swap(a, b);
+                edges.emplace_back(a, b);
+            }
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+namespace {
+
+struct Vf2State
+{
+    const std::vector<std::vector<int>> *ladj; // logical adjacency
+    const topology::CouplingMap *coupling;
+    std::vector<int> order;    // logical vertices in match order
+    std::vector<int> mapping;  // logical -> physical (-1 unset)
+    std::vector<bool> used;    // physical used
+    long states = 0;
+    long max_states = 0;
+
+    bool
+    extend(size_t depth)
+    {
+        if (++states > max_states)
+            return false;
+        if (depth == order.size())
+            return true;
+        int l = order[depth];
+
+        // Candidate physicals: neighbors of an already-mapped logical
+        // neighbor if one exists, otherwise all free vertices.
+        std::vector<int> candidates;
+        int anchor = -1;
+        for (int nb : (*ladj)[size_t(l)]) {
+            if (mapping[size_t(nb)] >= 0) {
+                anchor = mapping[size_t(nb)];
+                break;
+            }
+        }
+        if (anchor >= 0) {
+            candidates = coupling->neighbors(anchor);
+        } else {
+            candidates.resize(static_cast<size_t>(coupling->numQubits()));
+            std::iota(candidates.begin(), candidates.end(), 0);
+        }
+
+        for (int p : candidates) {
+            if (used[size_t(p)])
+                continue;
+            // Degree pruning + consistency with all mapped neighbors.
+            if (int((*ladj)[size_t(l)].size()) >
+                int(coupling->neighbors(p).size()))
+                continue;
+            bool ok = true;
+            for (int nb : (*ladj)[size_t(l)]) {
+                int pm = mapping[size_t(nb)];
+                if (pm >= 0 && !coupling->isEdge(p, pm)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok)
+                continue;
+            mapping[size_t(l)] = p;
+            used[size_t(p)] = true;
+            if (extend(depth + 1))
+                return true;
+            mapping[size_t(l)] = -1;
+            used[size_t(p)] = false;
+            if (states > max_states)
+                return false;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::optional<Layout>
+findSwapFreeLayout(const circuit::Circuit &circuit,
+                   const topology::CouplingMap &coupling,
+                   long max_states)
+{
+    const int nl = circuit.numQubits();
+    const int np = coupling.numQubits();
+    if (nl > np)
+        return std::nullopt;
+
+    auto edges = interactionEdges(circuit);
+    std::vector<std::vector<int>> ladj(static_cast<size_t>(nl));
+    for (auto [a, b] : edges) {
+        ladj[size_t(a)].push_back(b);
+        ladj[size_t(b)].push_back(a);
+    }
+
+    // Quick reject: a logical vertex needs a physical host of equal or
+    // larger degree.
+    int max_ldeg = 0;
+    for (const auto &nb : ladj)
+        max_ldeg = std::max(max_ldeg, int(nb.size()));
+    if (max_ldeg > coupling.maxDegree())
+        return std::nullopt;
+
+    // Match order: descending degree, then BFS-ish connectivity (vertices
+    // adjacent to already-ordered ones first) to keep pruning strong.
+    std::vector<int> order(static_cast<size_t>(nl));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return ladj[size_t(x)].size() > ladj[size_t(y)].size();
+    });
+    std::vector<int> connected_order;
+    std::vector<bool> placed(size_t(nl), false);
+    for (int seed : order) {
+        if (placed[size_t(seed)])
+            continue;
+        std::vector<int> queue = {seed};
+        placed[size_t(seed)] = true;
+        for (size_t h = 0; h < queue.size(); ++h) {
+            connected_order.push_back(queue[h]);
+            for (int nb : ladj[size_t(queue[h])]) {
+                if (!placed[size_t(nb)]) {
+                    placed[size_t(nb)] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+
+    Vf2State state;
+    state.ladj = &ladj;
+    state.coupling = &coupling;
+    state.order = connected_order;
+    state.mapping.assign(size_t(nl), -1);
+    state.used.assign(size_t(np), false);
+    state.max_states = max_states;
+
+    if (!state.extend(0))
+        return std::nullopt;
+
+    // Pad to a full bijection on physical wires.
+    std::vector<int> full(size_t(np), -1);
+    for (int l = 0; l < nl; ++l)
+        full[size_t(l)] = state.mapping[size_t(l)];
+    std::vector<bool> used(size_t(np), false);
+    for (int l = 0; l < nl; ++l)
+        used[size_t(state.mapping[size_t(l)])] = true;
+    int next = 0;
+    for (int l = nl; l < np; ++l) {
+        while (used[size_t(next)])
+            ++next;
+        full[size_t(l)] = next;
+        used[size_t(next)] = true;
+    }
+    return Layout(std::move(full));
+}
+
+} // namespace mirage::layout

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * VF2-style subgraph monomorphism search.
+ *
+ * The transpiler pipeline (paper Section V) first checks whether the
+ * circuit's interaction graph embeds into the coupling map -- in that case
+ * no SWAPs are needed and neither SABRE nor MIRAGE is invoked. This is a
+ * non-induced subgraph search: every interaction edge must map onto a
+ * coupling edge.
+ */
+
+#ifndef MIRAGE_LAYOUT_VF2_HH
+#define MIRAGE_LAYOUT_VF2_HH
+
+#include <optional>
+
+#include "circuit/circuit.hh"
+#include "layout/layout.hh"
+#include "topology/coupling.hh"
+
+namespace mirage::layout {
+
+/** Interaction graph of a circuit: edges between qubit pairs sharing a
+ * 2Q gate. */
+std::vector<std::pair<int, int>>
+interactionEdges(const circuit::Circuit &circuit);
+
+/**
+ * Search for a SWAP-free embedding of the circuit's interaction graph into
+ * the coupling map. Returns the (full, padded) layout on success, nullopt
+ * on failure or when the search exceeds max_states backtracking states.
+ */
+std::optional<Layout>
+findSwapFreeLayout(const circuit::Circuit &circuit,
+                   const topology::CouplingMap &coupling,
+                   long max_states = 200000);
+
+} // namespace mirage::layout
+
+#endif // MIRAGE_LAYOUT_VF2_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Eigenvalue solvers for the small matrices the Weyl machinery needs.
+ *
+ * Two solvers are provided:
+ *  - complex eigenvalues of an arbitrary 4x4 complex matrix via the
+ *    Faddeev-LeVerrier characteristic polynomial and Durand-Kerner root
+ *    iteration (used on the unitary "gamma" matrix whose spectrum encodes
+ *    Weyl coordinates), and
+ *  - a cyclic Jacobi eigensolver for real symmetric 4x4 matrices, with a
+ *    two-stage variant that simultaneously diagonalizes a commuting pair
+ *    (used by the KAK decomposition where Re(gamma) and Im(gamma) commute).
+ */
+
+#ifndef MIRAGE_LINALG_EIGEN_HH
+#define MIRAGE_LINALG_EIGEN_HH
+
+#include <array>
+
+#include "linalg/matrix.hh"
+
+namespace mirage::linalg {
+
+/**
+ * Coefficients of det(xI - M) = x^4 + c3 x^3 + c2 x^2 + c1 x + c0
+ * via Faddeev-LeVerrier.
+ */
+std::array<Complex, 4> characteristicPolynomial(const Mat4 &m);
+
+/**
+ * All four eigenvalues of a 4x4 complex matrix (with multiplicity) via
+ * Durand-Kerner iteration on the characteristic polynomial. Accurate to
+ * ~1e-12 for well-scaled inputs such as unitaries.
+ */
+std::array<Complex, 4> eigenvalues4(const Mat4 &m);
+
+/** Real symmetric 4x4 matrix stored densely. */
+struct Sym4
+{
+    std::array<double, 16> a{};
+
+    double &operator()(int r, int c) { return a[size_t(4 * r + c)]; }
+    const double &operator()(int r, int c) const
+    {
+        return a[size_t(4 * r + c)];
+    }
+};
+
+/** Result of a real symmetric eigendecomposition m = V diag(w) V^T. */
+struct SymEig4
+{
+    std::array<double, 4> values{};
+    /** Columns are eigenvectors; orthogonal with det +1 not guaranteed. */
+    Sym4 vectors{};
+};
+
+/** Cyclic Jacobi diagonalization of a real symmetric 4x4 matrix. */
+SymEig4 jacobiEigen4(const Sym4 &m);
+
+/**
+ * Simultaneously diagonalize two commuting real symmetric matrices:
+ * returns orthogonal V with V^T a V and V^T b V both diagonal.
+ * Diagonalizes a first, then runs Jacobi on b restricted to each
+ * (near-)degenerate eigenspace of a.
+ */
+Sym4 simultaneousDiagonalize(const Sym4 &a, const Sym4 &b,
+                             double degeneracy_tol = 1e-9);
+
+/** V^T m V for orthogonal V. */
+Sym4 congruence(const Sym4 &v, const Sym4 &m);
+
+/** Determinant of a real 4x4 matrix. */
+double det4(const Sym4 &m);
+
+} // namespace mirage::linalg
+
+#endif // MIRAGE_LINALG_EIGEN_HH

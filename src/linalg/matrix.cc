@@ -1,0 +1,411 @@
+#include "linalg/matrix.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mirage::linalg {
+
+Mat2
+Mat2::identity()
+{
+    Mat2 m;
+    m.a = {Complex(1), Complex(0), Complex(0), Complex(1)};
+    return m;
+}
+
+Mat2
+Mat2::operator+(const Mat2 &o) const
+{
+    Mat2 r;
+    for (size_t i = 0; i < 4; ++i)
+        r.a[i] = a[i] + o.a[i];
+    return r;
+}
+
+Mat2
+Mat2::operator-(const Mat2 &o) const
+{
+    Mat2 r;
+    for (size_t i = 0; i < 4; ++i)
+        r.a[i] = a[i] - o.a[i];
+    return r;
+}
+
+Mat2
+Mat2::operator*(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            r(i, j) = (*this)(i, 0) * o(0, j) + (*this)(i, 1) * o(1, j);
+    return r;
+}
+
+Mat2
+Mat2::operator*(Complex s) const
+{
+    Mat2 r;
+    for (size_t i = 0; i < 4; ++i)
+        r.a[i] = a[i] * s;
+    return r;
+}
+
+Mat2
+Mat2::dagger() const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            r(i, j) = std::conj((*this)(j, i));
+    return r;
+}
+
+Mat2
+Mat2::transpose() const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            r(i, j) = (*this)(j, i);
+    return r;
+}
+
+Mat2
+Mat2::conj() const
+{
+    Mat2 r;
+    for (size_t i = 0; i < 4; ++i)
+        r.a[i] = std::conj(a[i]);
+    return r;
+}
+
+Mat4
+Mat4::identity()
+{
+    Mat4 m;
+    for (int i = 0; i < 4; ++i)
+        m(i, i) = Complex(1);
+    return m;
+}
+
+Mat4
+Mat4::diag(Complex d0, Complex d1, Complex d2, Complex d3)
+{
+    Mat4 m;
+    m(0, 0) = d0;
+    m(1, 1) = d1;
+    m(2, 2) = d2;
+    m(3, 3) = d3;
+    return m;
+}
+
+Mat4
+Mat4::operator+(const Mat4 &o) const
+{
+    Mat4 r;
+    for (size_t i = 0; i < 16; ++i)
+        r.a[i] = a[i] + o.a[i];
+    return r;
+}
+
+Mat4
+Mat4::operator-(const Mat4 &o) const
+{
+    Mat4 r;
+    for (size_t i = 0; i < 16; ++i)
+        r.a[i] = a[i] - o.a[i];
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) {
+        for (int k = 0; k < 4; ++k) {
+            Complex v = (*this)(i, k);
+            if (v == Complex(0))
+                continue;
+            for (int j = 0; j < 4; ++j)
+                r(i, j) += v * o(k, j);
+        }
+    }
+    return r;
+}
+
+Mat4
+Mat4::operator*(Complex s) const
+{
+    Mat4 r;
+    for (size_t i = 0; i < 16; ++i)
+        r.a[i] = a[i] * s;
+    return r;
+}
+
+Mat4
+Mat4::dagger() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = std::conj((*this)(j, i));
+    return r;
+}
+
+Mat4
+Mat4::transpose() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = (*this)(j, i);
+    return r;
+}
+
+Mat4
+Mat4::conj() const
+{
+    Mat4 r;
+    for (size_t i = 0; i < 16; ++i)
+        r.a[i] = std::conj(a[i]);
+    return r;
+}
+
+Complex
+Mat4::trace() const
+{
+    return a[0] + a[5] + a[10] + a[15];
+}
+
+Complex
+Mat4::det() const
+{
+    // LU with partial pivoting on a scratch copy.
+    Mat4 m = *this;
+    Complex det(1);
+    for (int col = 0; col < 4; ++col) {
+        int pivot = col;
+        double best = std::abs(m(col, col));
+        for (int r = col + 1; r < 4; ++r) {
+            double mag = std::abs(m(r, col));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best == 0.0)
+            return Complex(0);
+        if (pivot != col) {
+            for (int c = 0; c < 4; ++c)
+                std::swap(m(pivot, c), m(col, c));
+            det = -det;
+        }
+        det *= m(col, col);
+        for (int r = col + 1; r < 4; ++r) {
+            Complex f = m(r, col) / m(col, col);
+            for (int c = col; c < 4; ++c)
+                m(r, c) -= f * m(col, c);
+        }
+    }
+    return det;
+}
+
+double
+Mat4::distance(const Mat4 &o) const
+{
+    double s = 0;
+    for (size_t i = 0; i < 16; ++i)
+        s += std::norm(a[i] - o.a[i]);
+    return std::sqrt(s);
+}
+
+double
+Mat4::maxAbsDiff(const Mat4 &o) const
+{
+    double best = 0;
+    for (size_t i = 0; i < 16; ++i)
+        best = std::max(best, std::abs(a[i] - o.a[i]));
+    return best;
+}
+
+double
+Mat4::frobeniusNorm() const
+{
+    double s = 0;
+    for (size_t i = 0; i < 16; ++i)
+        s += std::norm(a[i]);
+    return std::sqrt(s);
+}
+
+bool
+Mat4::isUnitary(double tol) const
+{
+    Mat4 p = (*this) * dagger();
+    return p.maxAbsDiff(Mat4::identity()) < tol;
+}
+
+std::string
+Mat4::toString(int precision) const
+{
+    char buf[64];
+    std::string out;
+    for (int i = 0; i < 4; ++i) {
+        out += "[";
+        for (int j = 0; j < 4; ++j) {
+            std::snprintf(buf, sizeof(buf), "%+.*f%+.*fi ", precision,
+                          (*this)(i, j).real(), precision,
+                          (*this)(i, j).imag());
+            out += buf;
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+Mat4
+kron(const Mat2 &x, const Mat2 &y)
+{
+    Mat4 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l)
+                    r(2 * i + k, 2 * j + l) = x(i, j) * y(k, l);
+    return r;
+}
+
+Mat2
+pauliX()
+{
+    Mat2 m;
+    m(0, 1) = 1;
+    m(1, 0) = 1;
+    return m;
+}
+
+Mat2
+pauliY()
+{
+    Mat2 m;
+    m(0, 1) = Complex(0, -1);
+    m(1, 0) = Complex(0, 1);
+    return m;
+}
+
+Mat2
+pauliZ()
+{
+    Mat2 m;
+    m(0, 0) = 1;
+    m(1, 1) = -1;
+    return m;
+}
+
+Mat2
+hadamard()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    Mat2 m;
+    m(0, 0) = s;
+    m(0, 1) = s;
+    m(1, 0) = s;
+    m(1, 1) = -s;
+    return m;
+}
+
+Mat4
+pauliXX()
+{
+    return kron(pauliX(), pauliX());
+}
+
+Mat4
+pauliYY()
+{
+    return kron(pauliY(), pauliY());
+}
+
+Mat4
+pauliZZ()
+{
+    return kron(pauliZ(), pauliZ());
+}
+
+double
+processFidelity(const Mat4 &a, const Mat4 &b)
+{
+    Complex t = (a.dagger() * b).trace();
+    return std::norm(t) / 16.0;
+}
+
+double
+averageGateFidelity(const Mat4 &a, const Mat4 &b)
+{
+    const double d = 4.0;
+    double fpro = processFidelity(a, b);
+    return (d * fpro + 1.0) / (d + 1.0);
+}
+
+void
+factorTensorProduct(const Mat4 &m, Mat2 *x, Mat2 *y, double *error)
+{
+    MIRAGE_ASSERT(x && y, "null output factor");
+
+    // View m as a 2x2 block matrix m = [[a00*y, a01*y], [a10*y, a11*y]].
+    // Pick the block with the largest norm as a scaled copy of y.
+    int bi = 0, bj = 0;
+    double best = -1;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            double s = 0;
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l)
+                    s += std::norm(m(2 * i + k, 2 * j + l));
+            if (s > best) {
+                best = s;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+
+    Mat2 yblk;
+    for (int k = 0; k < 2; ++k)
+        for (int l = 0; l < 2; ++l)
+            yblk(k, l) = m(2 * bi + k, 2 * bj + l);
+    // Normalize so y is (approximately) unitary: block = a_{bi,bj} * y with
+    // |det(block)| = |a|^2 |det y| = |a|^2 for unitary y.
+    Complex dblk = yblk.det();
+    double scale = std::sqrt(std::abs(dblk));
+    MIRAGE_ASSERT(scale > 1e-12, "tensor factor block is singular");
+    Mat2 yhat = yblk * Complex(1.0 / scale);
+
+    // Recover x entries by projecting each block onto yhat.
+    Mat2 xhat;
+    double ynorm2 = 0;
+    for (size_t i = 0; i < 4; ++i)
+        ynorm2 += std::norm(yhat.a[i]);
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            Complex acc(0);
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l)
+                    acc += std::conj(yhat(k, l)) * m(2 * i + k, 2 * j + l);
+            xhat(i, j) = acc / ynorm2;
+        }
+    }
+
+    if (error) {
+        Mat4 rec = kron(xhat, yhat);
+        // Phase-align before measuring the residual.
+        Complex t = (rec.dagger() * m).trace();
+        Complex phase = std::abs(t) > 1e-12 ? t / std::abs(t) : Complex(1);
+        *error = (rec * phase).distance(m);
+    }
+    *x = xhat;
+    *y = yhat;
+}
+
+} // namespace mirage::linalg

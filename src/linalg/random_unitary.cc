@@ -1,0 +1,83 @@
+#include "linalg/random_unitary.hh"
+
+#include <cmath>
+
+namespace mirage::linalg {
+
+namespace {
+
+/**
+ * QR-orthonormalize the columns of a complex NxN Ginibre sample using
+ * modified Gram-Schmidt, then fix phases so the implied R has a positive
+ * real diagonal. This makes the distribution exactly Haar.
+ */
+template <int N, typename Mat>
+Mat
+haarFromGinibre(Rng &rng)
+{
+    Complex g[N][N];
+    for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+            g[i][j] = Complex(rng.normal(), rng.normal());
+
+    for (int col = 0; col < N; ++col) {
+        // Remove projections onto previous columns (twice, for stability).
+        for (int rep = 0; rep < 2; ++rep) {
+            for (int prev = 0; prev < col; ++prev) {
+                Complex dot(0);
+                for (int i = 0; i < N; ++i)
+                    dot += std::conj(g[i][prev]) * g[i][col];
+                for (int i = 0; i < N; ++i)
+                    g[i][col] -= dot * g[i][prev];
+            }
+        }
+        double norm = 0;
+        for (int i = 0; i < N; ++i)
+            norm += std::norm(g[i][col]);
+        norm = std::sqrt(norm);
+        for (int i = 0; i < N; ++i)
+            g[i][col] /= norm;
+        // Phase fix: rotate the column so its pivot entry is real-positive
+        // times a Haar-uniform phase; the uniform phase keeps the measure
+        // Haar on U(N) (diagonal phases of R are uniform after the fix).
+        double phi = rng.uniform(0.0, 2.0 * kPi);
+        Complex rot = std::polar(1.0, phi);
+        for (int i = 0; i < N; ++i)
+            g[i][col] *= rot;
+    }
+
+    Mat out;
+    for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+            out(i, j) = g[i][j];
+    return out;
+}
+
+} // namespace
+
+Mat2
+randomSU2(Rng &rng)
+{
+    Mat2 u = haarFromGinibre<2, Mat2>(rng);
+    Complex d = u.det();
+    // Divide by det^(1/2) to land in SU(2).
+    Complex root = std::polar(1.0, std::arg(d) / 2.0);
+    return u * (Complex(1) / root);
+}
+
+Mat4
+randomSU4(Rng &rng)
+{
+    Mat4 u = haarFromGinibre<4, Mat4>(rng);
+    Complex d = u.det();
+    Complex root = std::polar(1.0, std::arg(d) / 4.0);
+    return u * (Complex(1) / root);
+}
+
+Mat4
+randomLocal4(Rng &rng)
+{
+    return kron(randomSU2(rng), randomSU2(rng));
+}
+
+} // namespace mirage::linalg

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Haar-random unitary sampling.
+ *
+ * Random SU(2) and SU(4) elements are drawn by QR-decomposing a complex
+ * Ginibre matrix and fixing the R diagonal phases (Mezzadri's recipe),
+ * which yields exactly Haar measure. Used by the Monte Carlo Haar-score
+ * experiments (paper Algorithm 1, Fig. 5) and all property-based tests.
+ */
+
+#ifndef MIRAGE_LINALG_RANDOM_UNITARY_HH
+#define MIRAGE_LINALG_RANDOM_UNITARY_HH
+
+#include "common/rng.hh"
+#include "linalg/matrix.hh"
+
+namespace mirage::linalg {
+
+/** Haar-random U(2) element, det-normalized into SU(2). */
+Mat2 randomSU2(Rng &rng);
+
+/** Haar-random U(4) element, det-normalized into SU(4). */
+Mat4 randomSU4(Rng &rng);
+
+/** Haar-random single-qubit pair k1 (x) k2. */
+Mat4 randomLocal4(Rng &rng);
+
+} // namespace mirage::linalg
+
+#endif // MIRAGE_LINALG_RANDOM_UNITARY_HH

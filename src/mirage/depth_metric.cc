@@ -1,0 +1,36 @@
+#include "mirage/depth_metric.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace mirage::mirage_pass {
+
+CircuitMetrics
+computeMetrics(const circuit::Circuit &circuit,
+               const monodromy::CostModel &cost_model)
+{
+    CircuitMetrics m;
+    std::vector<double> wire_depth(size_t(circuit.numQubits()), 0.0);
+
+    for (const auto &g : circuit.gates()) {
+        if (g.isBarrier() || g.isOneQubit())
+            continue;
+        double cost = cost_model.costOf(g.weylCoords());
+        m.totalCost += cost;
+        ++m.twoQubitGates;
+        if (g.kind == circuit::GateKind::SWAP)
+            ++m.swapGates;
+        double start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, wire_depth[size_t(q)]);
+        for (int q : g.qubits)
+            wire_depth[size_t(q)] = start + cost;
+        m.depth = std::max(m.depth, start + cost);
+    }
+    double dur = cost_model.basisDuration();
+    m.depthPulses = m.depth / dur;
+    m.totalPulses = m.totalCost / dur;
+    return m;
+}
+
+} // namespace mirage::mirage_pass

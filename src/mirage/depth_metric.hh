@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Polytope-based circuit metrics (paper Section IV-B).
+ *
+ * Instead of decomposing to the basis gate, MIRAGE estimates circuit
+ * depth from Weyl coordinates: every 2Q gate contributes its minimal
+ * basis-application cost k * duration (via the monodromy cost model), 1Q
+ * gates contribute zero, and the depth is the weighted longest path.
+ * Total cost sums the weights over all gates.
+ */
+
+#ifndef MIRAGE_MIRAGE_DEPTH_METRIC_HH
+#define MIRAGE_MIRAGE_DEPTH_METRIC_HH
+
+#include "circuit/circuit.hh"
+#include "monodromy/cost_model.hh"
+
+namespace mirage::mirage_pass {
+
+/** Metrics of a (routed or logical) circuit under a basis cost model. */
+struct CircuitMetrics
+{
+    /** Weighted critical path in pulse-duration units (iSWAP = 1.0). */
+    double depth = 0;
+    /** Sum of per-gate pulse costs. */
+    double totalCost = 0;
+    /** Critical path measured in basis-gate pulses (depth / duration). */
+    double depthPulses = 0;
+    /** Total pulses (totalCost / duration). */
+    double totalPulses = 0;
+    /** Explicit SWAP gates present in the circuit. */
+    int swapGates = 0;
+    /** Two-qubit gates (blocks) present. */
+    int twoQubitGates = 0;
+};
+
+/** Compute metrics; uses annotated coords when present. */
+CircuitMetrics computeMetrics(const circuit::Circuit &circuit,
+                              const monodromy::CostModel &cost_model);
+
+} // namespace mirage::mirage_pass
+
+#endif // MIRAGE_MIRAGE_DEPTH_METRIC_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * End-to-end transpilation pipeline (paper Section V).
+ *
+ * Stages: input cleaning (3Q unrolling, barrier removal), two-qubit block
+ * consolidation with coordinate annotation, VF2 SWAP-free layout check,
+ * SABRE or MIRAGE routing with independent trials, and polytope-based
+ * metrics. The baseline configuration ("Qiskit-sqrt(iSWAP)") is SABRE
+ * with SWAP-count post-selection; MIRAGE adds the mirror intermediate
+ * layer (mixed aggression) and depth post-selection.
+ */
+
+#ifndef MIRAGE_MIRAGE_PIPELINE_HH
+#define MIRAGE_MIRAGE_PIPELINE_HH
+
+#include "circuit/circuit.hh"
+#include "mirage/depth_metric.hh"
+#include "router/sabre.hh"
+#include "topology/coupling.hh"
+
+namespace mirage::mirage_pass {
+
+/** Which router drives the flow. */
+enum class Flow
+{
+    SabreBaseline,  ///< no mirrors, post-select on SWAP count
+    MirageSwaps,    ///< mirrors on, post-select on SWAP count
+    MirageDepth,    ///< mirrors on, post-select on estimated depth
+};
+
+/** Pipeline options. */
+struct TranspileOptions
+{
+    /** Basis gate: the n-th root of iSWAP. */
+    int rootDegree = 2;
+    Flow flow = Flow::MirageDepth;
+    /** Fixed aggression level; -1 = the paper's 5/45/45/5 mix. */
+    int fixedAggression = -1;
+    int layoutTrials = 4;
+    int forwardBackwardPasses = 2;
+    int swapTrials = 4;
+    bool tryVf2 = true;
+    uint64_t seed = 20240229;
+};
+
+/** Pipeline result. */
+struct TranspileResult
+{
+    circuit::Circuit routed;
+    layout::Layout initial;
+    layout::Layout final;
+    CircuitMetrics metrics;
+    int swapsAdded = 0;
+    int mirrorsAccepted = 0;
+    int mirrorCandidates = 0;
+    bool usedVf2 = false;
+
+    double
+    mirrorAcceptRate() const
+    {
+        return mirrorCandidates ? double(mirrorsAccepted) / mirrorCandidates
+                                : 0.0;
+    }
+};
+
+/** Unroll CCX/CSWAP into 1Q + CX gates (standard decompositions). */
+circuit::Circuit unrollThreeQubit(const circuit::Circuit &input);
+
+/** Full pipeline. */
+TranspileResult transpile(const circuit::Circuit &input,
+                          const topology::CouplingMap &coupling,
+                          const TranspileOptions &opts = {});
+
+} // namespace mirage::mirage_pass
+
+#endif // MIRAGE_MIRAGE_PIPELINE_HH

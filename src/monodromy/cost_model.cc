@@ -1,0 +1,45 @@
+#include "monodromy/cost_model.hh"
+
+#include <cmath>
+
+#include "weyl/catalog.hh"
+
+namespace mirage::monodromy {
+
+double
+decayFidelity(double duration)
+{
+    // Lifetime normalized so that a unit-duration pulse has fidelity 0.99:
+    // F = e^{-d/T} with T = -1/ln(0.99) (Eq. 2 with the paper's anchors).
+    static const double inv_lifetime = -std::log(0.99);
+    return std::exp(-duration * inv_lifetime);
+}
+
+CostModel::CostModel(const CoverageSet &coverage)
+    : coverage_(&coverage), cache_(1 << 16)
+{
+    swapCost_ = coverage_->minK(weyl::coordSWAP()) * basisDuration();
+}
+
+int
+CostModel::kFor(const Coord &c) const
+{
+    if (!cacheEnabled_)
+        return coverage_->minK(c);
+    Key key{int64_t(std::llround(c.a * 1e7)),
+            int64_t(std::llround(c.b * 1e7)),
+            int64_t(std::llround(c.c * 1e7))};
+    if (auto hit = cache_.get(key))
+        return *hit;
+    int k = coverage_->minK(c);
+    cache_.put(key, k);
+    return k;
+}
+
+CostModel
+makeRootIswapCostModel(int n)
+{
+    return CostModel(coverageForRootIswap(n));
+}
+
+} // namespace mirage::monodromy

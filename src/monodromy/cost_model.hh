@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Decomposition cost model used by MIRAGE while routing.
+ *
+ * Maps Weyl coordinates to the minimum number of basis applications k via
+ * the coverage polytopes, with an LRU lookup table over quantized
+ * coordinates (paper Fig. 13a / Section VI-C). Also provides the
+ * decoherence fidelity model of Eq. 2: F = e^{-duration/lifetime} with the
+ * lifetime normalized so a unit-duration iSWAP has fidelity 0.99.
+ */
+
+#ifndef MIRAGE_MONODROMY_COST_MODEL_HH
+#define MIRAGE_MONODROMY_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "common/lru_cache.hh"
+#include "monodromy/coverage.hh"
+
+namespace mirage::monodromy {
+
+/** Eq. 2 fidelity for a pulse train of total duration d (iSWAP units). */
+double decayFidelity(double duration);
+
+/** Cost/fidelity oracle for one basis gate. */
+class CostModel
+{
+  public:
+    explicit CostModel(const CoverageSet &coverage);
+
+    const BasisSpec &basis() const { return coverage_->basis(); }
+    double basisDuration() const { return coverage_->basis().duration; }
+
+    /** Minimum applications of the basis realizing these coordinates. */
+    int kFor(const Coord &c) const;
+    /** Pulse cost: kFor * duration. */
+    double costOf(const Coord &c) const { return kFor(c) * basisDuration(); }
+    /** Pulse cost of the mirror gate U' = U * SWAP. */
+    double mirrorCostOf(const Coord &c) const
+    {
+        return kFor(weyl::mirrorCoord(c)) * basisDuration();
+    }
+    /** Pulse cost of a bare SWAP in this basis. */
+    double swapCost() const { return swapCost_; }
+    /** Circuit fidelity of an exact decomposition (Eq. 2). */
+    double circuitFidelity(const Coord &c) const
+    {
+        return decayFidelity(costOf(c));
+    }
+
+    uint64_t cacheHits() const { return cache_.hits(); }
+    uint64_t cacheMisses() const { return cache_.misses(); }
+    /** Disable/enable the LRU (for the Fig. 13 ablation). */
+    void setCacheEnabled(bool enabled) { cacheEnabled_ = enabled; }
+
+  private:
+    struct Key
+    {
+        int64_t a, b, c;
+        bool operator==(const Key &o) const
+        {
+            return a == o.a && b == o.b && c == o.c;
+        }
+    };
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &k) const
+        {
+            uint64_t h = 0xcbf29ce484222325ULL;
+            for (int64_t v : {k.a, k.b, k.c}) {
+                h ^= uint64_t(v);
+                h *= 0x100000001b3ULL;
+            }
+            return size_t(h);
+        }
+    };
+
+    const CoverageSet *coverage_;
+    double swapCost_ = 0;
+    bool cacheEnabled_ = true;
+    mutable LruCache<Key, int, KeyHash> cache_;
+};
+
+/** Cost model for the n-th root of iSWAP (process-cached coverage). */
+CostModel makeRootIswapCostModel(int n);
+
+} // namespace mirage::monodromy
+
+#endif // MIRAGE_MONODROMY_COST_MODEL_HH

@@ -1,0 +1,59 @@
+#include "monodromy/haar_density.hh"
+
+#include <cmath>
+
+#include "geometry/quadrature.hh"
+#include "linalg/random_unitary.hh"
+
+namespace mirage::monodromy {
+
+double
+haarDensity(const Vec3 &c)
+{
+    // KAK integration Jacobian for the type-AI symmetric space
+    // SU(4)/SO(4) (local gates become SO(4) in the magic basis): with the
+    // magic-basis angles d_j, the density is prod_{i<j} |sin(d_i - d_j)|,
+    // and the pairwise differences reduce to 2(c_i +- c_j).
+    auto s = [](double x) { return std::fabs(std::sin(2.0 * x)); };
+    return s(c.x + c.y) * s(c.x - c.y) * s(c.x + c.z) * s(c.x - c.z) *
+           s(c.y + c.z) * s(c.y - c.z);
+}
+
+double
+alcoveHaarMass()
+{
+    static const double mass = geometry::integratePolytope(
+        geometry::signedChamber(), haarDensity, /*depth=*/4);
+    return mass;
+}
+
+double
+haarFraction(const std::vector<Polytope> &members, int depth)
+{
+    if (members.empty())
+        return 0.0;
+    double num = geometry::integrateUnion(members, geometry::signedChamber(),
+                                          haarDensity, depth);
+    return num / alcoveHaarMass();
+}
+
+double
+haarFraction(const Polytope &region, int depth)
+{
+    return haarFraction(std::vector<Polytope>{region}, depth);
+}
+
+weyl::Coord
+sampleHaarCoord(Rng &rng)
+{
+    return weyl::weylCoordinates(linalg::randomSU4(rng));
+}
+
+Vec3
+sampleHaarSigned(Rng &rng)
+{
+    auto s = weyl::signedRep(sampleHaarCoord(rng));
+    return Vec3{s[0], s[1], s[2]};
+}
+
+} // namespace mirage::monodromy

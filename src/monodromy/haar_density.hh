@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Haar measure pushed forward onto the Weyl alcove.
+ *
+ * The distribution of canonical coordinates of a Haar-random SU(4) element
+ * has density proportional to prod_{i<j} sin^2(c_i + c_j) sin^2(c_i - c_j)
+ * on the alcove. This module provides the density, its normalization, the
+ * Haar-weighted measure of polytope regions (the paper's cost-weighted
+ * polytope integration), and direct Haar sampling for cross-validation.
+ */
+
+#ifndef MIRAGE_MONODROMY_HAAR_DENSITY_HH
+#define MIRAGE_MONODROMY_HAAR_DENSITY_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "geometry/polytope.hh"
+#include "weyl/coordinates.hh"
+
+namespace mirage::monodromy {
+
+using geometry::Polytope;
+using geometry::Vec3;
+
+/** Unnormalized Haar density at an alcove point. */
+double haarDensity(const Vec3 &c);
+
+/** Integral of haarDensity over the signed chamber (cached). */
+double alcoveHaarMass();
+
+/**
+ * Haar-weighted fraction of the signed chamber covered by the union of
+ * the given polytopes, in [0, 1]. Deterministic (tetrahedral quadrature
+ * with inclusion-exclusion).
+ */
+double haarFraction(const std::vector<Polytope> &members, int depth = 4);
+
+/** Haar-weighted fraction for a single region. */
+double haarFraction(const Polytope &region, int depth = 4);
+
+/** Weyl coordinates of a Haar-random SU(4) element. */
+weyl::Coord sampleHaarCoord(Rng &rng);
+
+/** Signed-chamber coordinates of a Haar-random SU(4) element. */
+Vec3 sampleHaarSigned(Rng &rng);
+
+} // namespace mirage::monodromy
+
+#endif // MIRAGE_MONODROMY_HAAR_DENSITY_HH

@@ -1,0 +1,478 @@
+#include "router/sabre.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "circuit/dag.hh"
+#include "common/logging.hh"
+#include "mirage/depth_metric.hh"
+#include "weyl/catalog.hh"
+#include "weyl/coordinates.hh"
+
+namespace mirage::router {
+
+using circuit::Circuit;
+using circuit::DagCircuit;
+using circuit::Gate;
+using circuit::GateKind;
+using layout::Layout;
+using topology::CouplingMap;
+
+namespace {
+
+/** Mutable routing state for one pass. */
+struct PassState
+{
+    const DagCircuit *dag;
+    const CouplingMap *coupling;
+    const PassOptions *opts;
+    Rng rng;
+
+    Layout layout;
+    std::vector<int> indegree;
+    std::vector<int> front;      // dependency-free, unexecuted nodes
+    std::vector<double> decay;   // per physical qubit
+    int swaps_since_reset = 0;
+
+    Circuit out;
+    int swaps_added = 0;
+    int mirrors_accepted = 0;
+    int mirror_candidates = 0;
+
+    explicit PassState(const DagCircuit &d, const CouplingMap &c,
+                       const Layout &init, const PassOptions &o)
+        : dag(&d), coupling(&c), opts(&o), rng(o.seed),
+          layout(init), indegree(d.size(), 0),
+          decay(size_t(c.numQubits()), 1.0),
+          out(c.numQubits(), "routed")
+    {
+        for (const auto &node : d.nodes())
+            indegree[size_t(node.id)] = int(node.preds.size());
+        for (int id : d.roots())
+            front.push_back(id);
+    }
+
+    void
+    resetDecay()
+    {
+        std::fill(decay.begin(), decay.end(), 1.0);
+        swaps_since_reset = 0;
+    }
+
+    /** Move a completed node's successors into the front layer. */
+    void
+    advance(int id)
+    {
+        for (int s : dag->node(id).succs) {
+            if (--indegree[size_t(s)] == 0)
+                front.push_back(s);
+        }
+    }
+
+    /** Collect the lookahead window: the next 2Q gates after the front. */
+    std::vector<int>
+    extendedSet(int skip_node = -1) const
+    {
+        std::vector<int> ext;
+        std::vector<int> indeg_copy; // lazily simulated BFS frontier
+        std::deque<int> queue;
+        for (int id : front) {
+            if (id != skip_node)
+                queue.push_back(id);
+        }
+        if (skip_node >= 0)
+            queue.push_back(skip_node);
+        std::vector<bool> seen(dag->size(), false);
+        for (int id : queue)
+            seen[size_t(id)] = true;
+        // Walk successor closure breadth-first collecting 2Q gates that
+        // are not already in the front.
+        std::deque<int> walk = queue;
+        while (!walk.empty() && int(ext.size()) < opts->extendedSetSize) {
+            int id = walk.front();
+            walk.pop_front();
+            for (int s : dag->node(id).succs) {
+                if (seen[size_t(s)])
+                    continue;
+                seen[size_t(s)] = true;
+                if (dag->node(s).gate.isTwoQubit()) {
+                    ext.push_back(s);
+                    if (int(ext.size()) >= opts->extendedSetSize)
+                        break;
+                }
+                walk.push_back(s);
+            }
+        }
+        return ext;
+    }
+
+    /** Distance of a 2Q node under a hypothetical layout. */
+    int
+    nodeDistance(int id, const Layout &lay) const
+    {
+        const Gate &g = dag->node(id).gate;
+        return coupling->distance(lay.toPhysical(g.qubits[0]),
+                                  lay.toPhysical(g.qubits[1]));
+    }
+
+    /**
+     * SABRE heuristic H over the given front / extended sets, evaluated
+     * for a hypothetical layout.
+     */
+    double
+    heuristic(const std::vector<int> &front_2q, const std::vector<int> &ext,
+              const Layout &lay) const
+    {
+        double h = 0;
+        if (!front_2q.empty()) {
+            double s = 0;
+            for (int id : front_2q)
+                s += nodeDistance(id, lay);
+            h += s / double(front_2q.size());
+        }
+        if (!ext.empty()) {
+            double s = 0;
+            for (int id : ext)
+                s += nodeDistance(id, lay);
+            h += opts->extendedSetWeight * s / double(ext.size());
+        }
+        return h;
+    }
+
+    /** Front-layer 2Q nodes that are not yet executable. */
+    std::vector<int>
+    blockedFront() const
+    {
+        std::vector<int> blocked;
+        for (int id : front) {
+            const Gate &g = dag->node(id).gate;
+            if (g.isTwoQubit() &&
+                !coupling->isEdge(layout.toPhysical(g.qubits[0]),
+                                  layout.toPhysical(g.qubits[1])))
+                blocked.push_back(id);
+        }
+        return blocked;
+    }
+
+    /**
+     * MIRAGE intermediate layer: decide whether to replace an executable
+     * gate by its mirror (paper Algorithm 2). Returns true when the
+     * mirror was accepted (the layout permutation is applied here).
+     */
+    bool
+    considerMirror(int id)
+    {
+        if (opts->aggression == Aggression::None)
+            return false;
+        MIRAGE_ASSERT(opts->costModel, "mirror decisions need a cost model");
+        const Gate &g = dag->node(id).gate;
+        ++mirror_candidates;
+
+        weyl::Coord c = g.coords.has_value()
+                            ? *g.coords
+                            : weyl::weylCoordinates(g.matrix4());
+        weyl::Coord cm = weyl::mirrorCoord(c);
+
+        int pa = layout.toPhysical(g.qubits[0]);
+        int pb = layout.toPhysical(g.qubits[1]);
+
+        // Routing outlook measured in future-SWAP units: each blocked
+        // gate in the front needs (distance - 1) SWAPs before it can
+        // execute, and the lookahead window contributes with the usual
+        // extended-set weight. Unlike the SABRE selection heuristic this
+        // is deliberately NOT normalized by the set sizes -- the mirror
+        // decision trades an absolute decomposition-cost difference
+        // against an absolute number of saved SWAPs (paper Section IV).
+        auto front_2q = blockedFront();
+        auto ext = extendedSet(id);
+        auto outlook = [&](const Layout &lay) {
+            double s = 0;
+            for (int nid : front_2q)
+                s += std::max(0, nodeDistance(nid, lay) - 1);
+            for (int nid : ext)
+                s += opts->extendedSetWeight *
+                     std::max(0, nodeDistance(nid, lay) - 1);
+            // Fine-grained tiebreaker: total lookahead distance. Scaled
+            // far below one SWAP unit so it only resolves ties; without
+            // it the Equal level accepts cost-neutral mirrors that merely
+            // randomize the permutation (hurting CCX-heavy circuits).
+            double fine = 0;
+            for (int nid : front_2q)
+                fine += nodeDistance(nid, lay);
+            if (!ext.empty()) {
+                double fe = 0;
+                for (int nid : ext)
+                    fe += nodeDistance(nid, lay);
+                fine += opts->extendedSetWeight * fe / double(ext.size());
+            }
+            return s + 0.02 * fine;
+        };
+        double h_now = outlook(layout);
+        Layout trial = layout;
+        trial.swapPhysical(pa, pb);
+        double h_mirror = outlook(trial);
+
+        double swap_cost = opts->costModel->swapCost();
+        double cost_current =
+            opts->costModel->costOf(c) + swap_cost * h_now;
+        double cost_trial =
+            opts->costModel->costOf(cm) + swap_cost * h_mirror;
+
+        bool accept = false;
+        switch (opts->aggression) {
+          case Aggression::None:
+            break;
+          case Aggression::Lower:
+            accept = cost_trial < cost_current - 1e-12;
+            break;
+          case Aggression::Equal:
+            accept = cost_trial <= cost_current + 1e-12;
+            break;
+          case Aggression::Always:
+            accept = true;
+            break;
+        }
+        if (accept)
+            layout.swapPhysical(pa, pb);
+        return accept;
+    }
+
+    /** Emit an executable node onto physical wires. */
+    void
+    execute(int id)
+    {
+        const Gate &g = dag->node(id).gate;
+        if (g.isOneQubit()) {
+            Gate phys = g;
+            phys.qubits = {layout.toPhysical(g.qubits[0])};
+            out.append(std::move(phys));
+            advance(id);
+            return;
+        }
+
+        int pa = layout.toPhysical(g.qubits[0]);
+        int pb = layout.toPhysical(g.qubits[1]);
+        bool mirrored = considerMirror(id);
+
+        Gate phys;
+        if (mirrored) {
+            // U' = SWAP * U with the mirror coordinate annotated via
+            // Eq. 1 -- no eigensolver call (paper Section VI-C).
+            phys = circuit::makeUnitary2(pa, pb,
+                                         weyl::gateSWAP() * g.matrix4());
+            phys.mirrored = true;
+            phys.coords = weyl::mirrorCoord(
+                g.coords.has_value() ? *g.coords
+                                     : weyl::weylCoordinates(g.matrix4()));
+            ++mirrors_accepted;
+        } else {
+            phys = g;
+            phys.qubits = {pa, pb};
+        }
+        out.append(std::move(phys));
+        resetDecay();
+        advance(id);
+    }
+
+    /** Run the pass to completion. */
+    void
+    run()
+    {
+        while (!front.empty()) {
+            // Flush everything executable.
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (size_t i = 0; i < front.size();) {
+                    int id = front[i];
+                    const Gate &g = dag->node(id).gate;
+                    bool executable =
+                        g.isOneQubit() ||
+                        coupling->isEdge(layout.toPhysical(g.qubits[0]),
+                                         layout.toPhysical(g.qubits[1]));
+                    if (executable) {
+                        front.erase(front.begin() + long(i));
+                        execute(id);
+                        progress = true;
+                        // restart scan: execute() may alter the layout
+                        i = 0;
+                    } else {
+                        ++i;
+                    }
+                }
+            }
+            if (front.empty())
+                break;
+
+            // Stalled: choose the best SWAP.
+            auto front_2q = blockedFront();
+            MIRAGE_ASSERT(!front_2q.empty(), "stall without blocked gates");
+            auto ext = extendedSet();
+
+            std::vector<std::pair<int, int>> candidates;
+            for (int id : front_2q) {
+                const Gate &g = dag->node(id).gate;
+                for (int lq : g.qubits) {
+                    int p = layout.toPhysical(lq);
+                    for (int nb : coupling->neighbors(p)) {
+                        int a = std::min(p, nb), b = std::max(p, nb);
+                        candidates.emplace_back(a, b);
+                    }
+                }
+            }
+            std::sort(candidates.begin(), candidates.end());
+            candidates.erase(
+                std::unique(candidates.begin(), candidates.end()),
+                candidates.end());
+
+            double best = std::numeric_limits<double>::infinity();
+            std::vector<std::pair<int, int>> best_swaps;
+            for (auto [pa, pb] : candidates) {
+                Layout trial = layout;
+                trial.swapPhysical(pa, pb);
+                double h = heuristic(front_2q, ext, trial);
+                h *= std::max(decay[size_t(pa)], decay[size_t(pb)]);
+                if (h < best - 1e-12) {
+                    best = h;
+                    best_swaps = {{pa, pb}};
+                } else if (h <= best + 1e-12) {
+                    best_swaps.emplace_back(pa, pb);
+                }
+            }
+            auto [pa, pb] = best_swaps[rng.index(best_swaps.size())];
+
+            Gate sw = circuit::makeGate2(GateKind::SWAP, pa, pb);
+            sw.coords = weyl::coordSWAP();
+            out.append(std::move(sw));
+            layout.swapPhysical(pa, pb);
+            ++swaps_added;
+            decay[size_t(pa)] += opts->decayIncrement;
+            decay[size_t(pb)] += opts->decayIncrement;
+            if (++swaps_since_reset >= opts->decayResetInterval)
+                resetDecay();
+        }
+    }
+};
+
+} // namespace
+
+RouteResult
+routePass(const Circuit &circuit, const CouplingMap &coupling,
+          const Layout &initial, const PassOptions &opts)
+{
+    MIRAGE_ASSERT(circuit.numQubits() <= coupling.numQubits(),
+                  "circuit does not fit the device (%d > %d)",
+                  circuit.numQubits(), coupling.numQubits());
+    MIRAGE_ASSERT(initial.size() == coupling.numQubits(),
+                  "layout size mismatch");
+
+    // Lift the logical circuit onto the padded wire count so the DAG and
+    // the layout agree.
+    Circuit lifted(coupling.numQubits(), circuit.name());
+    for (const auto &g : circuit.gates())
+        lifted.append(g);
+
+    DagCircuit dag(lifted);
+    PassState state(dag, coupling, initial, opts);
+    state.run();
+
+    RouteResult res;
+    res.routed = std::move(state.out);
+    res.initial = initial;
+    res.final = state.layout;
+    res.swapsAdded = state.swaps_added;
+    res.mirrorsAccepted = state.mirrors_accepted;
+    res.mirrorCandidates = state.mirror_candidates;
+    if (opts.costModel) {
+        auto metrics =
+            mirage_pass::computeMetrics(res.routed, *opts.costModel);
+        res.estDepth = metrics.depth;
+        res.estTotalCost = metrics.totalCost;
+    }
+    return res;
+}
+
+std::vector<Aggression>
+mirageAggressionMix(int trials)
+{
+    // 5% level 0, 45% level 1, 45% level 2, 5% level 3 (Section IV-C).
+    // The edge levels are guaranteed one slot each whenever there are
+    // enough trials: level 0 keeps a plain-SABRE fallback in the pool for
+    // mirror-hostile circuits, level 3 explores the always-mirror
+    // extreme; depth post-selection then keeps the best of all worlds.
+    std::vector<Aggression> mix;
+    for (int i = 0; i < trials; ++i) {
+        double f = (i + 0.5) / trials;
+        if (f < 0.05)
+            mix.push_back(Aggression::None);
+        else if (f < 0.50)
+            mix.push_back(Aggression::Lower);
+        else if (f < 0.95)
+            mix.push_back(Aggression::Equal);
+        else
+            mix.push_back(Aggression::Always);
+    }
+    if (trials >= 4) {
+        if (std::find(mix.begin(), mix.end(), Aggression::None) ==
+            mix.end())
+            mix.front() = Aggression::None;
+        if (std::find(mix.begin(), mix.end(), Aggression::Always) ==
+            mix.end())
+            mix.back() = Aggression::Always;
+    }
+    return mix;
+}
+
+RouteResult
+routeWithTrials(const Circuit &circuit, const CouplingMap &coupling,
+                const TrialOptions &opts)
+{
+    Rng trial_rng(opts.seed);
+    Circuit reversed = circuit.reversed();
+
+    std::optional<RouteResult> best;
+    double best_metric = std::numeric_limits<double>::infinity();
+
+    for (int trial = 0; trial < opts.layoutTrials; ++trial) {
+        PassOptions pass = opts.pass;
+        if (!opts.trialAggression.empty())
+            pass.aggression =
+                opts.trialAggression[size_t(trial) %
+                                     opts.trialAggression.size()];
+
+        Layout layout = Layout::random(coupling.numQubits(), trial_rng);
+
+        // Forward/backward refinement (SabreLayout).
+        for (int iter = 0; iter < opts.forwardBackwardPasses; ++iter) {
+            pass.seed = trial_rng.engine()();
+            RouteResult fwd = routePass(circuit, coupling, layout, pass);
+            pass.seed = trial_rng.engine()();
+            RouteResult bwd =
+                routePass(reversed, coupling, fwd.final, pass);
+            layout = bwd.final;
+        }
+
+        // Final forward routes (independent swap trials).
+        for (int st = 0; st < opts.swapTrials; ++st) {
+            pass.seed = trial_rng.engine()();
+            RouteResult res = routePass(circuit, coupling, layout, pass);
+            double metric;
+            if (opts.postSelect == PostSelect::Swaps) {
+                metric = res.swapsAdded;
+            } else {
+                MIRAGE_ASSERT(opts.pass.costModel,
+                              "depth post-selection needs a cost model");
+                metric = res.estDepth;
+            }
+            if (metric < best_metric) {
+                best_metric = metric;
+                best = std::move(res);
+            }
+        }
+    }
+    MIRAGE_ASSERT(best.has_value(), "no routing trial succeeded");
+    return *best;
+}
+
+} // namespace mirage::router

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SABRE routing (Li, Ding, Xie; ASPLOS'19) -- the baseline router -- and
+ * the shared single-pass engine that MIRAGE extends with its intermediate
+ * mirror layer (paper Fig. 7).
+ *
+ * One routing pass walks the circuit DAG with a front layer of
+ * dependency-free gates; executable gates (operands adjacent under the
+ * current layout) are mapped immediately, and when the front stalls the
+ * router inserts the SWAP minimizing the distance heuristic
+ *   H = 1/|F| sum_F d(gate) + W/|E| sum_E d(gate)
+ * damped by per-qubit decay factors that promote parallelism.
+ *
+ * Layout selection runs independent random trials refined by
+ * forward/backward routing passes, post-selected either by SWAP count
+ * (stock SABRE) or by the estimated-depth metric (MIRAGE, Section IV-B).
+ */
+
+#ifndef MIRAGE_ROUTER_SABRE_HH
+#define MIRAGE_ROUTER_SABRE_HH
+
+#include <optional>
+
+#include "circuit/circuit.hh"
+#include "layout/layout.hh"
+#include "monodromy/cost_model.hh"
+#include "topology/coupling.hh"
+
+namespace mirage::router {
+
+/** Mirror aggression levels (paper Algorithm 2). */
+enum class Aggression
+{
+    None = 0,   ///< never accept a mirror (plain SABRE behavior)
+    Lower = 1,  ///< accept when the trial cost is strictly lower
+    Equal = 2,  ///< accept when the trial cost does not increase
+    Always = 3, ///< always accept
+};
+
+/** Post-selection metric across routing trials. */
+enum class PostSelect
+{
+    Swaps, ///< fewest inserted SWAP gates (stock SABRE)
+    Depth, ///< lowest estimated pulse depth (MIRAGE, Section IV-B)
+};
+
+/** Options for one routing pass. */
+struct PassOptions
+{
+    int extendedSetSize = 20;
+    double extendedSetWeight = 0.5;
+    double decayIncrement = 0.001;
+    int decayResetInterval = 5;
+    Aggression aggression = Aggression::None;
+    /** Cost model used for mirror decisions and depth estimation; may be
+     * null only when aggression == None. */
+    const monodromy::CostModel *costModel = nullptr;
+    uint64_t seed = 1;
+};
+
+/** Result of routing a circuit onto a coupling map. */
+struct RouteResult
+{
+    circuit::Circuit routed; ///< physical circuit (SWAPs materialized)
+    layout::Layout initial;  ///< logical -> physical before the circuit
+    layout::Layout final;    ///< logical -> physical after the circuit
+    int swapsAdded = 0;
+    int mirrorsAccepted = 0;
+    int mirrorCandidates = 0;
+    /** Estimated pulse depth/cost when a cost model was supplied. */
+    double estDepth = 0;
+    double estTotalCost = 0;
+};
+
+/** One deterministic routing pass from a fixed initial layout. */
+RouteResult routePass(const circuit::Circuit &circuit,
+                      const topology::CouplingMap &coupling,
+                      const layout::Layout &initial,
+                      const PassOptions &opts);
+
+/** Options for the full multi-trial flow (SabreLayout-style). */
+struct TrialOptions
+{
+    int layoutTrials = 4;
+    int forwardBackwardPasses = 2;
+    int swapTrials = 4;
+    PostSelect postSelect = PostSelect::Swaps;
+    /** Per-trial aggression; empty = all None (plain SABRE). A MIRAGE mix
+     * of 5/45/45/5 percent across levels 0..3 is built by
+     * mirageAggressionMix(). */
+    std::vector<Aggression> trialAggression;
+    PassOptions pass;
+    uint64_t seed = 12345;
+};
+
+/** The paper's 5/45/45/5 aggression distribution over `trials` slots. */
+std::vector<Aggression> mirageAggressionMix(int trials);
+
+/** Full flow: random layouts, fwd/bwd refinement, post-selection. */
+RouteResult routeWithTrials(const circuit::Circuit &circuit,
+                            const topology::CouplingMap &coupling,
+                            const TrialOptions &opts);
+
+} // namespace mirage::router
+
+#endif // MIRAGE_ROUTER_SABRE_HH

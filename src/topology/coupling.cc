@@ -1,0 +1,192 @@
+#include "topology/coupling.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace mirage::topology {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::vector<std::pair<int, int>> edges,
+                         std::string name)
+    : numQubits_(num_qubits), name_(std::move(name)), edges_(std::move(edges))
+{
+    for (auto &[a, b] : edges_) {
+        MIRAGE_ASSERT(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
+                      "edge (%d,%d) out of range", a, b);
+        MIRAGE_ASSERT(a != b, "self-loop edge on qubit %d", a);
+        if (a > b)
+            std::swap(a, b);
+    }
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    buildDerived();
+}
+
+void
+CouplingMap::buildDerived()
+{
+    adjacency_.assign(size_t(numQubits_), {});
+    for (const auto &[a, b] : edges_) {
+        adjacency_[size_t(a)].push_back(b);
+        adjacency_[size_t(b)].push_back(a);
+    }
+    for (auto &nb : adjacency_)
+        std::sort(nb.begin(), nb.end());
+
+    dist_.assign(size_t(numQubits_),
+                 std::vector<int>(size_t(numQubits_), -1));
+    for (int src = 0; src < numQubits_; ++src) {
+        auto &d = dist_[size_t(src)];
+        d[size_t(src)] = 0;
+        std::deque<int> queue = {src};
+        while (!queue.empty()) {
+            int u = queue.front();
+            queue.pop_front();
+            for (int v : adjacency_[size_t(u)]) {
+                if (d[size_t(v)] < 0) {
+                    d[size_t(v)] = d[size_t(u)] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+bool
+CouplingMap::isEdge(int a, int b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    return std::binary_search(edges_.begin(), edges_.end(),
+                              std::make_pair(a, b));
+}
+
+bool
+CouplingMap::isConnected() const
+{
+    for (int q = 0; q < numQubits_; ++q) {
+        if (dist_[0][size_t(q)] < 0)
+            return false;
+    }
+    return numQubits_ > 0;
+}
+
+int
+CouplingMap::maxDegree() const
+{
+    int best = 0;
+    for (const auto &nb : adjacency_)
+        best = std::max(best, int(nb.size()));
+    return best;
+}
+
+std::vector<int>
+CouplingMap::shortestPath(int a, int b) const
+{
+    std::vector<int> path = {b};
+    int cur = b;
+    while (cur != a) {
+        for (int nb : adjacency_[size_t(cur)]) {
+            if (distance(a, nb) == distance(a, cur) - 1) {
+                cur = nb;
+                path.push_back(cur);
+                break;
+            }
+        }
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+CouplingMap
+CouplingMap::line(int n)
+{
+    std::vector<std::pair<int, int>> e;
+    for (int i = 0; i + 1 < n; ++i)
+        e.emplace_back(i, i + 1);
+    return CouplingMap(n, std::move(e), "line-" + std::to_string(n));
+}
+
+CouplingMap
+CouplingMap::ring(int n)
+{
+    auto cm = line(n);
+    auto e = cm.edges();
+    if (n > 2)
+        e.emplace_back(0, n - 1);
+    return CouplingMap(n, std::move(e), "ring-" + std::to_string(n));
+}
+
+CouplingMap
+CouplingMap::grid(int rows, int cols)
+{
+    std::vector<std::pair<int, int>> e;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                e.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                e.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return CouplingMap(rows * cols, std::move(e),
+                       "grid-" + std::to_string(rows) + "x" +
+                           std::to_string(cols));
+}
+
+CouplingMap
+CouplingMap::allToAll(int n)
+{
+    std::vector<std::pair<int, int>> e;
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            e.emplace_back(i, j);
+    return CouplingMap(n, std::move(e), "a2a-" + std::to_string(n));
+}
+
+CouplingMap
+CouplingMap::heavyHex(int rows, int row_width)
+{
+    // Row qubits 0 .. rows*row_width-1 laid out row-major and connected in
+    // lines; bridge qubits between consecutive rows at columns congruent
+    // to 0 (even gaps) or 2 (odd gaps) mod 4, which tiles the plane with
+    // heavy hexagons and keeps every degree <= 3.
+    std::vector<std::pair<int, int>> e;
+    auto id = [row_width](int r, int c) { return r * row_width + c; };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c + 1 < row_width; ++c)
+            e.emplace_back(id(r, c), id(r, c + 1));
+
+    int next = rows * row_width;
+    for (int gap = 0; gap + 1 < rows; ++gap) {
+        int offset = (gap % 2 == 0) ? 0 : 2;
+        for (int c = offset; c < row_width; c += 4) {
+            int bridge = next++;
+            e.emplace_back(id(gap, c), bridge);
+            e.emplace_back(bridge, id(gap + 1, c));
+        }
+    }
+    return CouplingMap(next, std::move(e),
+                       "heavyhex-" + std::to_string(next));
+}
+
+CouplingMap
+CouplingMap::heavyHex57()
+{
+    // 5 rows x 9 row qubits = 45 plus 10 bridges = 55; two boundary flag
+    // qubits (as on IBM devices) bring the lattice to 57 while keeping the
+    // maximum degree at 3.
+    CouplingMap base = heavyHex(5, 9);
+    int n = base.numQubits();
+    auto e = base.edges();
+    // Dangling boundary qubits attached to degree-2 corner-row sites
+    // (columns without a bridge in the adjacent gap).
+    e.emplace_back(2, n);             // above row 0, column 2
+    e.emplace_back(4 * 9 + 4, n + 1); // below row 4, column 4
+    return CouplingMap(n + 2, std::move(e), "heavyhex-57");
+}
+
+} // namespace mirage::topology

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware coupling maps (qubit connectivity graphs).
+ *
+ * Provides the topologies evaluated in the paper: line, ring, square
+ * lattice (6x6, 8x8), a 57-qubit heavy-hex lattice, and all-to-all, plus
+ * BFS all-pairs distances that the SABRE/MIRAGE heuristics consume.
+ */
+
+#ifndef MIRAGE_TOPOLOGY_COUPLING_HH
+#define MIRAGE_TOPOLOGY_COUPLING_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mirage::topology {
+
+/** Undirected qubit connectivity graph. */
+class CouplingMap
+{
+  public:
+    CouplingMap() = default;
+    CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges,
+                std::string name = "custom");
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+    const std::vector<int> &neighbors(int q) const
+    {
+        return adjacency_[size_t(q)];
+    }
+
+    bool isEdge(int a, int b) const;
+    /** Shortest-path distance (hops); -1 if disconnected. */
+    int distance(int a, int b) const { return dist_[size_t(a)][size_t(b)]; }
+    bool isConnected() const;
+    int maxDegree() const;
+
+    /** A shortest path from a to b (inclusive of endpoints). */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    // Generators -------------------------------------------------------
+    static CouplingMap line(int n);
+    static CouplingMap ring(int n);
+    static CouplingMap grid(int rows, int cols);
+    static CouplingMap allToAll(int n);
+    /**
+     * IBM-style heavy-hex lattice: rows of linearly connected qubits with
+     * bridge qubits between rows at alternating columns (period 4). Row
+     * count and width control the size; degree never exceeds 3.
+     */
+    static CouplingMap heavyHex(int rows, int row_width);
+    /** The 57-qubit heavy-hex instance used in the paper's evaluation. */
+    static CouplingMap heavyHex57();
+
+  private:
+    void buildDerived();
+
+    int numQubits_ = 0;
+    std::string name_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adjacency_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace mirage::topology
+
+#endif // MIRAGE_TOPOLOGY_COUPLING_HH

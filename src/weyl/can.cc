@@ -1,0 +1,21 @@
+#include "weyl/can.hh"
+
+#include <cmath>
+
+#include "weyl/magic.hh"
+
+namespace mirage::weyl {
+
+Mat4
+canonicalGate(double a, double b, double c)
+{
+    // XX, YY, ZZ are simultaneously diagonal in the magic basis with
+    // eigenvalue patterns (1,1,-1,-1), (-1,1,-1,1), (1,-1,-1,1), so
+    // CAN is B diag(e^{i d_j}) B^dagger with d from canMagicAngles.
+    auto d = canMagicAngles(a, b, c);
+    Mat4 diag = Mat4::diag(std::polar(1.0, d[0]), std::polar(1.0, d[1]),
+                           std::polar(1.0, d[2]), std::polar(1.0, d[3]));
+    return fromMagic(diag);
+}
+
+} // namespace mirage::weyl

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Canonical two-qubit gates CAN(a,b,c) = exp(i(a XX + b YY + c ZZ)).
+ *
+ * Every two-qubit unitary is locally equivalent to exactly one CAN gate
+ * with coordinates in the positive-canonical alcove; this header builds
+ * the CAN representative in closed form (diagonal in the magic basis).
+ */
+
+#ifndef MIRAGE_WEYL_CAN_HH
+#define MIRAGE_WEYL_CAN_HH
+
+#include "linalg/matrix.hh"
+
+namespace mirage::weyl {
+
+using linalg::Mat4;
+
+/** CAN(a,b,c) = exp(i (a XX + b YY + c ZZ)), computed in closed form. */
+Mat4 canonicalGate(double a, double b, double c);
+
+} // namespace mirage::weyl
+
+#endif // MIRAGE_WEYL_CAN_HH

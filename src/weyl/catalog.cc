@@ -1,0 +1,335 @@
+#include "weyl/catalog.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "linalg/expm.hh"
+#include "weyl/can.hh"
+
+namespace mirage::weyl {
+
+using linalg::Complex;
+using linalg::kPi;
+
+Mat2
+gateI2()
+{
+    return Mat2::identity();
+}
+
+Mat2
+gateX()
+{
+    return linalg::pauliX();
+}
+
+Mat2
+gateY()
+{
+    return linalg::pauliY();
+}
+
+Mat2
+gateZ()
+{
+    return linalg::pauliZ();
+}
+
+Mat2
+gateH()
+{
+    return linalg::hadamard();
+}
+
+Mat2
+gateS()
+{
+    Mat2 m;
+    m(0, 0) = 1;
+    m(1, 1) = Complex(0, 1);
+    return m;
+}
+
+Mat2
+gateSdg()
+{
+    return gateS().dagger();
+}
+
+Mat2
+gateT()
+{
+    Mat2 m;
+    m(0, 0) = 1;
+    m(1, 1) = std::polar(1.0, kPi / 4.0);
+    return m;
+}
+
+Mat2
+gateTdg()
+{
+    return gateT().dagger();
+}
+
+Mat2
+gateSX()
+{
+    // sqrt(X) with the standard phase.
+    Mat2 m;
+    m(0, 0) = Complex(0.5, 0.5);
+    m(0, 1) = Complex(0.5, -0.5);
+    m(1, 0) = Complex(0.5, -0.5);
+    m(1, 1) = Complex(0.5, 0.5);
+    return m;
+}
+
+Mat2
+gateRX(double theta)
+{
+    double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    Mat2 m;
+    m(0, 0) = c;
+    m(0, 1) = Complex(0, -s);
+    m(1, 0) = Complex(0, -s);
+    m(1, 1) = c;
+    return m;
+}
+
+Mat2
+gateRY(double theta)
+{
+    double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    Mat2 m;
+    m(0, 0) = c;
+    m(0, 1) = -s;
+    m(1, 0) = s;
+    m(1, 1) = c;
+    return m;
+}
+
+Mat2
+gateRZ(double theta)
+{
+    Mat2 m;
+    m(0, 0) = std::polar(1.0, -theta / 2);
+    m(1, 1) = std::polar(1.0, theta / 2);
+    return m;
+}
+
+Mat2
+gateU3(double theta, double phi, double lambda)
+{
+    Mat2 m;
+    m(0, 0) = std::cos(theta / 2);
+    m(0, 1) = -std::polar(1.0, lambda) * std::sin(theta / 2);
+    m(1, 0) = std::polar(1.0, phi) * std::sin(theta / 2);
+    m(1, 1) = std::polar(1.0, phi + lambda) * std::cos(theta / 2);
+    return m;
+}
+
+Mat4
+gateCX()
+{
+    // Control is the first (most significant) qubit.
+    Mat4 m;
+    m(0, 0) = 1;
+    m(1, 1) = 1;
+    m(2, 3) = 1;
+    m(3, 2) = 1;
+    return m;
+}
+
+Mat4
+gateCZ()
+{
+    return Mat4::diag(1, 1, 1, -1);
+}
+
+Mat4
+gateCP(double phi)
+{
+    return Mat4::diag(1, 1, 1, std::polar(1.0, phi));
+}
+
+namespace {
+
+Mat4
+controlled(const Mat2 &u)
+{
+    Mat4 m;
+    m(0, 0) = 1;
+    m(1, 1) = 1;
+    m(2, 2) = u(0, 0);
+    m(2, 3) = u(0, 1);
+    m(3, 2) = u(1, 0);
+    m(3, 3) = u(1, 1);
+    return m;
+}
+
+} // namespace
+
+Mat4
+gateCRX(double theta)
+{
+    return controlled(gateRX(theta));
+}
+
+Mat4
+gateCRY(double theta)
+{
+    return controlled(gateRY(theta));
+}
+
+Mat4
+gateCRZ(double theta)
+{
+    return controlled(gateRZ(theta));
+}
+
+Mat4
+gateSWAP()
+{
+    Mat4 m;
+    m(0, 0) = 1;
+    m(1, 2) = 1;
+    m(2, 1) = 1;
+    m(3, 3) = 1;
+    return m;
+}
+
+Mat4
+gateISWAP()
+{
+    Mat4 m;
+    m(0, 0) = 1;
+    m(1, 2) = Complex(0, 1);
+    m(2, 1) = Complex(0, 1);
+    m(3, 3) = 1;
+    return m;
+}
+
+Mat4
+gateRootISWAP(int n)
+{
+    MIRAGE_ASSERT(n >= 1, "root index must be positive");
+    // iSWAP = exp(i pi/4 (XX + YY)), so the n-th root is
+    // CAN(pi/(4n), pi/(4n), 0).
+    double t = kPi / (4.0 * n);
+    return canonicalGate(t, t, 0.0);
+}
+
+Mat4
+gateRXX(double theta)
+{
+    Mat4 h = linalg::pauliXX() * Complex(0, -theta / 2);
+    return linalg::expm(h);
+}
+
+Mat4
+gateRYY(double theta)
+{
+    Mat4 h = linalg::pauliYY() * Complex(0, -theta / 2);
+    return linalg::expm(h);
+}
+
+Mat4
+gateRZZ(double theta)
+{
+    // Diagonal in the computational basis.
+    Complex p = std::polar(1.0, -theta / 2);
+    Complex q = std::polar(1.0, theta / 2);
+    return Mat4::diag(p, q, q, p);
+}
+
+Mat4
+gateCNS()
+{
+    // CNOT followed by SWAP (circuit order), i.e. SWAP * CX as matrices.
+    return gateSWAP() * gateCX();
+}
+
+Mat4
+gateB()
+{
+    return canonicalGate(kPi / 4.0, kPi / 8.0, 0.0);
+}
+
+Mat4
+gatePSWAP(double phi)
+{
+    // The mirror image of CPHASE(phi): CP(phi) followed by SWAP.
+    return gateSWAP() * gateCP(phi);
+}
+
+std::array<double, 4>
+eulerZYZ(const Mat2 &u)
+{
+    // Compare against U3(theta,phi,lambda) =
+    //   [[cos(t/2), -e^{i l} sin(t/2)], [e^{i p} sin(t/2), e^{i(p+l)} cos]].
+    double c = std::abs(u(0, 0));
+    double s = std::abs(u(1, 0));
+    double theta = 2.0 * std::atan2(s, c);
+
+    double phi = 0, lambda = 0, delta = 0;
+    if (c > 1e-10 && s > 1e-10) {
+        delta = std::arg(u(0, 0));
+        phi = std::arg(u(1, 0)) - delta;
+        lambda = std::arg(-u(0, 1)) - delta;
+    } else if (s <= 1e-10) {
+        // Diagonal: put the full relative phase into phi.
+        delta = std::arg(u(0, 0));
+        phi = std::arg(u(1, 1)) - delta;
+        lambda = 0;
+    } else {
+        // Anti-diagonal.
+        delta = 0;
+        phi = std::arg(u(1, 0));
+        lambda = std::arg(-u(0, 1));
+    }
+    return {theta, phi, lambda, delta};
+}
+
+Coord
+coordCNOT()
+{
+    return Coord{kPi / 4.0, 0.0, 0.0};
+}
+
+Coord
+coordISWAP()
+{
+    return Coord{kPi / 4.0, kPi / 4.0, 0.0};
+}
+
+Coord
+coordSWAP()
+{
+    return Coord{kPi / 4.0, kPi / 4.0, kPi / 4.0};
+}
+
+Coord
+coordRootISWAP(int n)
+{
+    MIRAGE_ASSERT(n >= 1, "root index must be positive");
+    return Coord{kPi / (4.0 * n), kPi / (4.0 * n), 0.0};
+}
+
+Coord
+coordIdentity()
+{
+    return Coord{0.0, 0.0, 0.0};
+}
+
+Coord
+coordB()
+{
+    return Coord{kPi / 4.0, kPi / 8.0, 0.0};
+}
+
+Coord
+coordCP(double phi)
+{
+    return canonicalize(phi / 4.0, 0.0, 0.0);
+}
+
+} // namespace mirage::weyl

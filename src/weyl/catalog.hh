@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Catalog of named one- and two-qubit gate matrices and their Weyl
+ * coordinates.
+ *
+ * Two-qubit matrices act on basis order |q0 q1> (first operand is the most
+ * significant bit), which matches the circuit simulator's convention.
+ */
+
+#ifndef MIRAGE_WEYL_CATALOG_HH
+#define MIRAGE_WEYL_CATALOG_HH
+
+#include "linalg/matrix.hh"
+#include "weyl/coordinates.hh"
+
+namespace mirage::weyl {
+
+using linalg::Mat2;
+using linalg::Mat4;
+
+// --- one-qubit gates ------------------------------------------------------
+
+Mat2 gateI2();
+Mat2 gateX();
+Mat2 gateY();
+Mat2 gateZ();
+Mat2 gateH();
+Mat2 gateS();
+Mat2 gateSdg();
+Mat2 gateT();
+Mat2 gateTdg();
+Mat2 gateSX();
+Mat2 gateRX(double theta);
+Mat2 gateRY(double theta);
+Mat2 gateRZ(double theta);
+/** U3(theta, phi, lambda) in the OpenQASM convention. */
+Mat2 gateU3(double theta, double phi, double lambda);
+
+// --- two-qubit gates ------------------------------------------------------
+
+Mat4 gateCX();
+Mat4 gateCZ();
+Mat4 gateCP(double phi);
+Mat4 gateCRX(double theta);
+Mat4 gateCRY(double theta);
+Mat4 gateCRZ(double theta);
+Mat4 gateSWAP();
+Mat4 gateISWAP();
+/** n-th root of iSWAP (n = 1 is iSWAP itself). */
+Mat4 gateRootISWAP(int n);
+Mat4 gateRXX(double theta);
+Mat4 gateRYY(double theta);
+Mat4 gateRZZ(double theta);
+/** CNOT followed by SWAP, the paper's CNS gate (locally an iSWAP). */
+Mat4 gateCNS();
+/** Berkeley B gate, CAN(pi/4, pi/8, 0). */
+Mat4 gateB();
+/** Parametric SWAP: the mirror image of CPHASE(phi) (paper Fig. 6). */
+Mat4 gatePSWAP(double phi);
+
+/**
+ * ZYZ Euler angles (theta, phi, lambda) such that
+ * u == e^{i delta} U3(theta, phi, lambda); the global phase delta is
+ * returned as the 4th element.
+ */
+std::array<double, 4> eulerZYZ(const Mat2 &u);
+
+// --- reference Weyl coordinates -------------------------------------------
+
+Coord coordCNOT();
+Coord coordISWAP();
+Coord coordSWAP();
+Coord coordRootISWAP(int n);
+Coord coordIdentity();
+Coord coordB();
+Coord coordCP(double phi);
+
+} // namespace mirage::weyl
+
+#endif // MIRAGE_WEYL_CATALOG_HH

@@ -1,0 +1,53 @@
+#include "weyl/magic.hh"
+
+#include <cmath>
+
+namespace mirage::weyl {
+
+const Mat4 &
+magicBasis()
+{
+    static const Mat4 b = [] {
+        const double s = 1.0 / std::sqrt(2.0);
+        const Complex i(0, 1);
+        Mat4 m;
+        // Columns: |Phi+>, i|Psi+>, |Psi->, i|Phi->
+        m(0, 0) = s;
+        m(3, 0) = s;
+        m(1, 1) = i * s;
+        m(2, 1) = i * s;
+        m(1, 2) = s;
+        m(2, 2) = -s;
+        m(0, 3) = i * s;
+        m(3, 3) = -i * s;
+        return m;
+    }();
+    return b;
+}
+
+const Mat4 &
+magicBasisDagger()
+{
+    static const Mat4 bd = magicBasis().dagger();
+    return bd;
+}
+
+Mat4
+toMagic(const Mat4 &u)
+{
+    return magicBasisDagger() * u * magicBasis();
+}
+
+Mat4
+fromMagic(const Mat4 &m)
+{
+    return magicBasis() * m * magicBasisDagger();
+}
+
+std::array<double, 4>
+canMagicAngles(double a, double b, double c)
+{
+    return {a - b + c, a + b - c, -a - b - c, -a + b + c};
+}
+
+} // namespace mirage::weyl

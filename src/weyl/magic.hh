@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The magic (Bell) basis and conversions into and out of it.
+ *
+ * In the magic basis single-qubit unitary pairs become real orthogonal
+ * matrices and the canonical gates CAN(a,b,c) become diagonal, which is
+ * the foundation of both Weyl-coordinate extraction and the KAK
+ * decomposition.
+ */
+
+#ifndef MIRAGE_WEYL_MAGIC_HH
+#define MIRAGE_WEYL_MAGIC_HH
+
+#include "linalg/matrix.hh"
+
+namespace mirage::weyl {
+
+using linalg::Complex;
+using linalg::Mat2;
+using linalg::Mat4;
+
+/** The magic basis change matrix B (columns are Bell-like states). */
+const Mat4 &magicBasis();
+
+/** B^dagger (cached). */
+const Mat4 &magicBasisDagger();
+
+/** B^dagger * u * B. */
+Mat4 toMagic(const Mat4 &u);
+
+/** B * m * B^dagger. */
+Mat4 fromMagic(const Mat4 &m);
+
+/**
+ * The diagonal of CAN(a,b,c) in the magic basis:
+ * d = (a-b+c, a+b-c, -a-b-c, -a+b+c).
+ */
+std::array<double, 4> canMagicAngles(double a, double b, double c);
+
+} // namespace mirage::weyl
+
+#endif // MIRAGE_WEYL_MAGIC_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the benchmark circuit generators: Table III inventory
+ * integrity, functional spot checks via simulation, and parameterized
+ * structural sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_circuits/generators.hh"
+#include "circuit/consolidate.hh"
+#include "circuit/sim.hh"
+#include "mirage/pipeline.hh"
+
+using namespace mirage;
+using namespace mirage::bench;
+using circuit::StateVector;
+
+class PaperBenchmarks : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PaperBenchmarks, MatchesInventory)
+{
+    const BenchmarkInfo &info = paperBenchmarks()[size_t(GetParam())];
+    Circuit c = info.make();
+    EXPECT_EQ(c.numQubits(), info.qubits) << info.name;
+    EXPECT_GT(c.twoQubitGateCount(), 0) << info.name;
+    // The CX-equivalent count stays within ~50% of the paper's Table III
+    // value (exact for the MQTBench-derived entries, looser for the
+    // QASMBench families that count native gates).
+    double ratio = double(cxEquivalentCount(c)) / info.paperTwoQ;
+    EXPECT_GT(ratio, 0.55) << info.name;
+    EXPECT_LT(ratio, 1.55) << info.name;
+}
+
+TEST_P(PaperBenchmarks, UnrollsAndConsolidates)
+{
+    const BenchmarkInfo &info = paperBenchmarks()[size_t(GetParam())];
+    Circuit c = mirage_pass::unrollThreeQubit(info.make());
+    for (const auto &g : c.gates())
+        EXPECT_LE(g.numQubits(), 2) << info.name;
+    Circuit merged = circuit::consolidateBlocks(c);
+    EXPECT_LE(merged.twoQubitGateCount(), c.twoQubitGateCount())
+        << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableThree, PaperBenchmarks,
+    ::testing::Range(0, int(paperBenchmarks().size())),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string name = paperBenchmarks()[size_t(info.param)].name;
+        for (auto &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+TEST(Generators, GhzStateIsCorrect)
+{
+    StateVector sv(4);
+    sv.applyCircuit(ghz(4));
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0 / std::sqrt(2.0), 1e-10);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[15]), 1.0 / std::sqrt(2.0),
+                1e-10);
+}
+
+TEST(Generators, WStateHasUniformSingleExcitation)
+{
+    const int n = 5;
+    StateVector sv(n);
+    sv.applyCircuit(wstate(n));
+    double expect = 1.0 / std::sqrt(double(n));
+    for (int q = 0; q < n; ++q) {
+        size_t idx = size_t(1) << q;
+        EXPECT_NEAR(std::abs(sv.amplitudes()[idx]), expect, 1e-9)
+            << "qubit " << q;
+    }
+    // No amplitude outside the single-excitation subspace.
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 0.0, 1e-9);
+}
+
+TEST(Generators, BernsteinVaziraniRecoversSecret)
+{
+    const int n = 7, ones = 4;
+    StateVector sv(n);
+    sv.applyCircuit(bernsteinVazirani(n, ones));
+    // Data qubits end in |secret>; the target stays in |->.
+    size_t secret = (size_t(1) << ones) - 1;
+    double p0 = std::norm(sv.amplitudes()[secret]);
+    double p1 = std::norm(sv.amplitudes()[secret | (size_t(1) << (n - 1))]);
+    EXPECT_NEAR(p0 + p1, 1.0, 1e-9);
+}
+
+TEST(Generators, QftMatchesDft)
+{
+    // QFT of |x> has amplitudes exp(2 pi i x y / N) / sqrt(N) -- check a
+    // basis input on 4 qubits against the closed form, accounting for
+    // the bit-reversal convention of the generator.
+    const int n = 4;
+    const size_t dim = 16;
+    const size_t x = 5;
+    StateVector sv(n);
+    sv.amplitudes().assign(dim, 0);
+    sv.amplitudes()[x] = 1;
+    sv.applyCircuit(qft(n, true));
+
+    for (size_t y = 0; y < dim; ++y) {
+        auto expect = std::polar(1.0 / 4.0,
+                                 2.0 * linalg::kPi * double(x * y) / 16.0);
+        EXPECT_NEAR(std::abs(sv.amplitudes()[y] - expect), 0.0, 1e-9)
+            << "y=" << y;
+    }
+}
+
+TEST(Generators, QftInverseRoundTrip)
+{
+    // qpeExact embeds an inverse QFT; sanity-check the building block by
+    // applying qft then its reverse structure via simulation overlap.
+    Rng rng(3);
+    StateVector a(5);
+    a.randomize(rng);
+    StateVector b = a;
+    Circuit fwd = qft(5, true);
+    b.applyCircuit(fwd);
+    // Undo by applying the adjoint: simulate the reversed gate list with
+    // negated parameters.
+    Circuit rev(5);
+    auto gates = fwd.gates();
+    for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+        circuit::Gate g = *it;
+        if (g.kind == circuit::GateKind::CP)
+            g.params[0] = -g.params[0];
+        rev.append(g);
+    }
+    b.applyCircuit(rev);
+    EXPECT_NEAR(std::abs(a.inner(b)), 1.0, 1e-9);
+}
+
+TEST(Generators, BigadderComputesSum)
+{
+    // 3-bit CDKM adder instance (n = 8): verify a | b -> a | a+b on a
+    // computational input. Use fresh inputs (strip the generator's
+    // built-in state preparation X gates first).
+    Circuit raw = bigadder(8);
+    Circuit adder(8);
+    size_t skip = 0;
+    // Generator prepends X gates for a demo input; skip leading X's.
+    const auto &gs = raw.gates();
+    while (skip < gs.size() && gs[skip].kind == circuit::GateKind::X)
+        ++skip;
+    for (size_t i = skip; i < gs.size(); ++i)
+        adder.append(gs[i]);
+
+    const int w = 3;
+    auto encode = [&](unsigned a, unsigned b) {
+        StateVector sv(8);
+        sv.amplitudes().assign(sv.amplitudes().size(), 0);
+        size_t idx = 0;
+        for (int i = 0; i < w; ++i) {
+            if (a & (1u << i))
+                idx |= size_t(1) << (1 + i);
+            if (b & (1u << i))
+                idx |= size_t(1) << (1 + w + i);
+        }
+        sv.amplitudes()[idx] = 1;
+        return sv;
+    };
+    for (auto [a, b] : {std::pair<unsigned, unsigned>{3, 5},
+                        {7, 1}, {2, 2}, {0, 6}}) {
+        StateVector sv = encode(a, b);
+        sv.applyCircuit(adder);
+        // Find the basis state with unit amplitude.
+        size_t hot = 0;
+        for (size_t i = 0; i < sv.amplitudes().size(); ++i) {
+            if (std::norm(sv.amplitudes()[i]) > 0.5)
+                hot = i;
+        }
+        unsigned sum = 0;
+        for (int i = 0; i < w; ++i) {
+            if (hot & (size_t(1) << (1 + w + i)))
+                sum |= 1u << i;
+        }
+        unsigned carry = (hot >> (1 + 2 * w)) & 1u;
+        EXPECT_EQ(sum | (carry << w), a + b) << a << "+" << b;
+    }
+}
+
+TEST(Generators, PortfolioQaoaLayerStructure)
+{
+    Circuit c = portfolioQaoa(8, 2, 3);
+    // Two layers of complete-graph RZZ: 2 * C(8,2) = 56.
+    EXPECT_EQ(c.countKind(circuit::GateKind::RZZ), 56);
+    EXPECT_EQ(cxEquivalentCount(c), 112);
+}
+
+TEST(Generators, SwapTestInterferenceOnEqualStates)
+{
+    // Swap test on two identical single-qubit registers: the ancilla
+    // must return |0> with probability 1.
+    Circuit c(3);
+    c.ry(0.7, 1);
+    c.ry(0.7, 2);
+    c.h(0);
+    c.cswap(0, 1, 2);
+    c.h(0);
+    StateVector sv(3);
+    sv.applyCircuit(c);
+    double p1 = 0;
+    for (size_t i = 0; i < sv.amplitudes().size(); ++i) {
+        if (i & 1)
+            p1 += std::norm(sv.amplitudes()[i]);
+    }
+    EXPECT_NEAR(p1, 0.0, 1e-10);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the polytope kernel and quadrature.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/polytope.hh"
+#include "geometry/quadrature.hh"
+
+using namespace mirage::geometry;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Polytope
+unitCube()
+{
+    std::vector<Halfspace> hs = {
+        {{1, 0, 0}, 1},  {{-1, 0, 0}, 0}, {{0, 1, 0}, 1},
+        {{0, -1, 0}, 0}, {{0, 0, 1}, 1},  {{0, 0, -1}, 0},
+    };
+    return Polytope(std::move(hs));
+}
+
+} // namespace
+
+TEST(Polytope, CubeVertices)
+{
+    auto verts = unitCube().vertices();
+    EXPECT_EQ(verts.size(), 8u);
+}
+
+TEST(Polytope, CubeVolume)
+{
+    EXPECT_NEAR(unitCube().volume(), 1.0, 1e-9);
+}
+
+TEST(Polytope, CubeContains)
+{
+    Polytope cube = unitCube();
+    EXPECT_TRUE(cube.contains({0.5, 0.5, 0.5}));
+    EXPECT_TRUE(cube.contains({0, 0, 0}));
+    EXPECT_FALSE(cube.contains({1.2, 0.5, 0.5}));
+    EXPECT_FALSE(cube.contains({0.5, -0.1, 0.5}));
+}
+
+TEST(Polytope, IntersectionVolume)
+{
+    // Cube shifted by 0.5 in x: intersection volume 0.5.
+    std::vector<Halfspace> hs = {
+        {{1, 0, 0}, 1.5}, {{-1, 0, 0}, -0.5}, {{0, 1, 0}, 1},
+        {{0, -1, 0}, 0},  {{0, 0, 1}, 1},     {{0, 0, -1}, 0},
+    };
+    Polytope shifted(std::move(hs));
+    EXPECT_NEAR(unitCube().intersect(shifted).volume(), 0.5, 1e-9);
+}
+
+TEST(Polytope, EmptyIntersection)
+{
+    std::vector<Halfspace> hs = {
+        {{1, 0, 0}, 3}, {{-1, 0, 0}, -2}, // 2 <= x <= 3, disjoint from cube
+        {{0, 1, 0}, 1}, {{0, -1, 0}, 0},  {{0, 0, 1}, 1}, {{0, 0, -1}, 0},
+    };
+    Polytope far(std::move(hs));
+    EXPECT_NEAR(unitCube().intersect(far).volume(), 0.0, 1e-12);
+    EXPECT_TRUE(unitCube().intersect(far).tetrahedralize().empty());
+}
+
+TEST(Polytope, RedundancyRemoval)
+{
+    Polytope cube = unitCube();
+    cube.addHalfspace({{1, 1, 1}, 10}); // far away, redundant
+    size_t before = cube.halfspaces().size();
+    cube.removeRedundancy();
+    EXPECT_LT(cube.halfspaces().size(), before);
+    EXPECT_NEAR(cube.volume(), 1.0, 1e-9);
+}
+
+TEST(Polytope, AffineImageVolume)
+{
+    // Rotation-ish shear with |det| = 1 preserves volume; scaling by 2 in
+    // x doubles it.
+    Polytope cube = unitCube();
+    Polytope scaled = cube.affineImage({2, 0, 0, 0, 1, 0, 0, 0, 1},
+                                       {1, 2, 3});
+    EXPECT_NEAR(scaled.volume(), 2.0, 1e-9);
+    EXPECT_TRUE(scaled.contains({2.5, 2.5, 3.5}));
+    EXPECT_FALSE(scaled.contains({0.5, 2.5, 3.5}));
+}
+
+TEST(Polytope, WeylAlcoveVolume)
+{
+    // Tetrahedron with vertices O, (pi/2,0,0), (pi/4,pi/4,0),
+    // (pi/4,pi/4,pi/4): volume = pi^3/192.
+    double expect = kPi * kPi * kPi / 192.0;
+    EXPECT_NEAR(weylAlcove().volume(), expect, 1e-9);
+}
+
+TEST(Quadrature, ConstantOverCube)
+{
+    double integral = integratePolytope(
+        unitCube(), [](const Vec3 &) { return 3.0; }, 2);
+    EXPECT_NEAR(integral, 3.0, 1e-9);
+}
+
+TEST(Quadrature, PolynomialOverCube)
+{
+    // Integral of x*y over the unit cube is 1/4.
+    double integral = integratePolytope(
+        unitCube(), [](const Vec3 &p) { return p.x * p.y; }, 2);
+    EXPECT_NEAR(integral, 0.25, 1e-9);
+}
+
+TEST(Quadrature, SmoothNonPolynomial)
+{
+    // Integral of sin(x) sin(y) sin(z) over [0,1]^3 = (1-cos 1)^3.
+    double expect = std::pow(1.0 - std::cos(1.0), 3.0);
+    double integral = integratePolytope(
+        unitCube(),
+        [](const Vec3 &p) {
+            return std::sin(p.x) * std::sin(p.y) * std::sin(p.z);
+        },
+        3);
+    EXPECT_NEAR(integral, expect, 1e-6);
+}
+
+TEST(Quadrature, UnionInclusionExclusion)
+{
+    // Two overlapping boxes: [0,1]^3 and [0.5,1.5]x[0,1]x[0,1].
+    std::vector<Halfspace> hs = {
+        {{1, 0, 0}, 1.5}, {{-1, 0, 0}, -0.5}, {{0, 1, 0}, 1},
+        {{0, -1, 0}, 0},  {{0, 0, 1}, 1},     {{0, 0, -1}, 0},
+    };
+    Polytope shifted(std::move(hs));
+    std::vector<Halfspace> big = {
+        {{1, 0, 0}, 10},  {{-1, 0, 0}, 10}, {{0, 1, 0}, 10},
+        {{0, -1, 0}, 10}, {{0, 0, 1}, 10},  {{0, 0, -1}, 10},
+    };
+    Polytope domain(std::move(big));
+    double vol = integrateUnion({unitCube(), shifted}, domain,
+                                [](const Vec3 &) { return 1.0; }, 1);
+    EXPECT_NEAR(vol, 1.5, 1e-9);
+}
+
+TEST(Tetra, VolumeAndSplitConsistency)
+{
+    Tetra t{{Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}};
+    EXPECT_NEAR(t.volume(), 1.0 / 6.0, 1e-12);
+    // Subdivided integral of a linear function equals the exact value.
+    double viaQuad = integrateTetra(
+        t, [](const Vec3 &p) { return 1.0 + p.x + 2.0 * p.y; }, 3);
+    // Exact: vol * (1 + mean(x) + 2 mean(y)) with centroid means 1/4.
+    double expect = (1.0 / 6.0) * (1.0 + 0.25 + 0.5);
+    EXPECT_NEAR(viaQuad, expect, 1e-12);
+}

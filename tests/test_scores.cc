@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the Haar-score estimators: Monte Carlo (Algorithm 1) against
+ * the exact polytope integration, approximate-decomposition acceptance,
+ * and parameterized consistency sweeps over the basis family.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "monodromy/cost_model.hh"
+#include "monodromy/haar_density.hh"
+#include "monodromy/scores.hh"
+
+using namespace mirage;
+using namespace mirage::monodromy;
+
+TEST(MonteCarlo, ConvergesToExactScore)
+{
+    // Fig. 5's headline property: the exact-decomposition MC estimate
+    // converges to the polytope-integration value.
+    const CoverageSet &cs = coverageForRootIswap(2);
+    HaarScore exact = haarScoreExact(cs, false);
+    MonteCarloOptions opts;
+    opts.iterations = 400;
+    opts.seed = 17;
+    HaarScore mc = haarScoreMonteCarlo(cs, opts);
+    EXPECT_NEAR(mc.score, exact.score, 0.03);
+    EXPECT_NEAR(mc.fidelity, exact.fidelity, 0.002);
+}
+
+TEST(MonteCarlo, MirrorsLowerTheScore)
+{
+    const CoverageSet &cs = coverageForRootIswap(2);
+    MonteCarloOptions opts;
+    opts.iterations = 200;
+    HaarScore plain = haarScoreMonteCarlo(cs, opts);
+    opts.mirrors = true;
+    HaarScore mirror = haarScoreMonteCarlo(cs, opts);
+    EXPECT_LT(mirror.score, plain.score);
+    EXPECT_GT(mirror.fidelity, plain.fidelity);
+}
+
+TEST(MonteCarlo, ApproximationImprovesFidelityAndScore)
+{
+    // Table II property: allowing approximate decomposition can only
+    // improve the average total fidelity, and lowers the cost.
+    const CoverageSet &cs = coverageForRootIswap(2);
+    MonteCarloOptions opts;
+    opts.iterations = 60;
+    opts.seed = 23;
+    HaarScore exact = haarScoreMonteCarlo(cs, opts);
+    opts.approximate = true;
+    HaarScore approx = haarScoreMonteCarlo(cs, opts);
+    EXPECT_LE(approx.score, exact.score + 1e-9);
+    EXPECT_GE(approx.fidelity, exact.fidelity - 1e-9);
+}
+
+TEST(MonteCarlo, ProgressCallbackFires)
+{
+    const CoverageSet &cs = coverageForRootIswap(2);
+    MonteCarloOptions opts;
+    opts.iterations = 10;
+    int calls = 0;
+    double last = 0;
+    opts.progress = [&](int it, double running) {
+        ++calls;
+        EXPECT_GT(it, 0);
+        last = running;
+    };
+    HaarScore s = haarScoreMonteCarlo(cs, opts);
+    EXPECT_EQ(calls, 10);
+    EXPECT_NEAR(last, s.score, 1e-12);
+}
+
+class BasisFamily : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BasisFamily, ScoreBoundsAndMonotonicity)
+{
+    const int n = GetParam();
+    const CoverageSet &cs = coverageForRootIswap(n);
+    // Coverage fractions are monotone in k, scores positive and bounded
+    // by the full-coverage depth.
+    double prev = -1;
+    for (int k = 1; k <= cs.kMax(); ++k) {
+        double f = cs.haarFractionAt(k);
+        EXPECT_GE(f, prev - 1e-9) << "k=" << k;
+        EXPECT_GE(cs.mirrorHaarFractionAt(k), f - 1e-6) << "k=" << k;
+        prev = f;
+    }
+    HaarScore plain = haarScoreExact(cs, false);
+    EXPECT_GT(plain.score, 0.0);
+    EXPECT_LE(plain.score, cs.kMax() * cs.basis().duration + 1e-9);
+    EXPECT_GT(plain.fidelity, 0.95);
+    EXPECT_LE(plain.fidelity, 1.0);
+}
+
+TEST_P(BasisFamily, MirrorInvolutionOnCosts)
+{
+    // mirror(mirror(x)) == x implies mirrorCost(mirrorCoord) == cost.
+    const int n = GetParam();
+    CostModel cm = makeRootIswapCostModel(n);
+    Rng rng(uint64_t(100 + n));
+    for (int i = 0; i < 20; ++i) {
+        weyl::Coord c = sampleHaarCoord(rng);
+        weyl::Coord m = weyl::mirrorCoord(c);
+        EXPECT_EQ(cm.kFor(c), cm.kFor(weyl::mirrorCoord(m)));
+    }
+}
+
+TEST_P(BasisFamily, SubadditivityBound)
+{
+    // The first signed coordinate is subadditive: k gates cannot exceed
+    // x = k * beta, so any coord with larger x must need more gates.
+    const int n = GetParam();
+    const CoverageSet &cs = coverageForRootIswap(n);
+    const double beta = cs.basis().coords.a;
+    Rng rng(uint64_t(7 * n));
+    for (int i = 0; i < 30; ++i) {
+        weyl::Coord c = sampleHaarCoord(rng);
+        auto s = weyl::signedRep(c);
+        int k = cs.minK(c);
+        EXPECT_GE(k * beta, s[0] - 1e-6)
+            << "n=" << n << " coord " << c.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(IswapRoots, BasisFamily,
+                         ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int> &info) {
+                             return "root" + std::to_string(info.param);
+                         });

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for coupling maps, layouts, and the VF2 swap-free search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hh"
+#include "layout/layout.hh"
+#include "layout/vf2.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+using namespace mirage::topology;
+using namespace mirage::layout;
+
+TEST(Coupling, LineDistances)
+{
+    CouplingMap line = CouplingMap::line(5);
+    EXPECT_EQ(line.numQubits(), 5);
+    EXPECT_TRUE(line.isEdge(0, 1));
+    EXPECT_FALSE(line.isEdge(0, 2));
+    EXPECT_EQ(line.distance(0, 4), 4);
+    EXPECT_TRUE(line.isConnected());
+    EXPECT_EQ(line.maxDegree(), 2);
+}
+
+TEST(Coupling, RingWrapsAround)
+{
+    CouplingMap ring = CouplingMap::ring(6);
+    EXPECT_EQ(ring.distance(0, 5), 1);
+    EXPECT_EQ(ring.distance(0, 3), 3);
+}
+
+TEST(Coupling, GridStructure)
+{
+    CouplingMap grid = CouplingMap::grid(6, 6);
+    EXPECT_EQ(grid.numQubits(), 36);
+    EXPECT_EQ(grid.maxDegree(), 4);
+    EXPECT_EQ(grid.distance(0, 35), 10);
+    EXPECT_TRUE(grid.isConnected());
+}
+
+TEST(Coupling, HeavyHex57)
+{
+    CouplingMap hh = CouplingMap::heavyHex57();
+    EXPECT_EQ(hh.numQubits(), 57);
+    EXPECT_TRUE(hh.isConnected());
+    // Heavy-hex keeps every degree at or below 3.
+    EXPECT_LE(hh.maxDegree(), 3);
+}
+
+TEST(Coupling, ShortestPathIsValid)
+{
+    CouplingMap grid = CouplingMap::grid(4, 4);
+    auto path = grid.shortestPath(0, 15);
+    EXPECT_EQ(int(path.size()) - 1, grid.distance(0, 15));
+    for (size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(grid.isEdge(path[i], path[i + 1]));
+}
+
+TEST(Layout, SwapUpdatesBothMaps)
+{
+    Layout lay(4);
+    lay.swapPhysical(0, 3);
+    EXPECT_EQ(lay.toPhysical(0), 3);
+    EXPECT_EQ(lay.toPhysical(3), 0);
+    EXPECT_EQ(lay.toLogical(3), 0);
+    EXPECT_EQ(lay.toLogical(0), 3);
+    EXPECT_EQ(lay.toPhysical(1), 1);
+}
+
+TEST(Layout, RandomIsBijection)
+{
+    Rng rng(3);
+    Layout lay = Layout::random(16, rng);
+    std::vector<bool> seen(16, false);
+    for (int l = 0; l < 16; ++l) {
+        int p = lay.toPhysical(l);
+        EXPECT_FALSE(seen[size_t(p)]);
+        seen[size_t(p)] = true;
+        EXPECT_EQ(lay.toLogical(p), l);
+    }
+}
+
+TEST(Vf2, LineIntoGrid)
+{
+    // A 5-qubit GHZ chain embeds into a 3x3 grid without SWAPs.
+    auto c = bench::ghz(5);
+    auto grid = CouplingMap::grid(3, 3);
+    auto found = findSwapFreeLayout(c, grid);
+    ASSERT_TRUE(found.has_value());
+    auto edges = interactionEdges(c);
+    for (auto [a, b] : edges)
+        EXPECT_TRUE(grid.isEdge(found->toPhysical(a), found->toPhysical(b)));
+}
+
+TEST(Vf2, RejectsImpossibleEmbedding)
+{
+    // A 5-qubit star (center degree 4) cannot embed into a line.
+    circuit::Circuit star(5);
+    for (int i = 1; i < 5; ++i)
+        star.cx(0, i);
+    EXPECT_FALSE(findSwapFreeLayout(star, CouplingMap::line(5)).has_value());
+}
+
+TEST(Vf2, FullGraphNeedsSwapsOnGrid)
+{
+    // TwoLocal full entanglement on 6 qubits cannot embed into a grid
+    // (degree 5 > 4) -- this is why the paper's suite needs routing.
+    auto c = bench::twoLocalFull(6);
+    EXPECT_FALSE(
+        findSwapFreeLayout(c, CouplingMap::grid(6, 6)).has_value());
+}
+
+TEST(Vf2, PaperSuiteNeedsRouting)
+{
+    // The paper selects benchmarks that require > 0 SWAPs on its
+    // topologies (Section V). Spot-check a few on the 6x6 grid.
+    auto grid = CouplingMap::grid(6, 6);
+    for (const char *name :
+         {"qft_n18", "portfolioqaoa_n16", "multiplier_n15"}) {
+        auto circ = bench::benchmarkByName(name).make();
+        EXPECT_FALSE(findSwapFreeLayout(circ, grid).has_value()) << name;
+    }
+}
