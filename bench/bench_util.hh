@@ -6,7 +6,7 @@
  *
  * Knobs (all optional):
  *   MIRAGE_BENCH_SEEDS        independent instances averaged (default 3)
- *   MIRAGE_BENCH_TRIALS       SABRE/MIRAGE layout trials     (default 8)
+ *   MIRAGE_BENCH_TRIALS       SABRE/MIRAGE layout trials     (default 12)
  *   MIRAGE_BENCH_SWAP_TRIALS  routing repeats per layout     (default 4)
  *   MIRAGE_BENCH_FWD_BWD      layout refinement rounds       (default 2)
  */

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Core benchmark generators (GHZ, W-state, QFT, TwoLocal, QEC, SECA,
+ * QRAM) plus the Table III registry mapping names to generator functions
+ * and the CX-equivalent gate counter.
+ */
+
 #include "bench_circuits/generators.hh"
 
 #include <cmath>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Circuit container implementation: gate list management, builder
+ * helpers for the common gate set, and structural metrics (depth,
+ * two-qubit counts).
+ */
+
 #include "circuit/circuit.hh"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Two-qubit block consolidation: merges maximal same-pair gate runs
+ * into Unitary2Q blocks, annotates Weyl coordinates, and memoizes
+ * coordinates of identical interior unitaries in a quantized LRU cache.
+ */
+
 #include "circuit/consolidate.hh"
 
 #include <cmath>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * DAG view of a circuit: wire-dependency edge construction and the
+ * unresolved-predecessor bookkeeping the SABRE/MIRAGE front layer uses.
+ */
+
 #include "circuit/dag.hh"
 
 #include <algorithm>

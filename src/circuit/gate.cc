@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Gate implementation: names, operand/parameter accessors, and matrix
+ * realization for standard gates and consolidated Unitary1Q/Unitary2Q
+ * blocks.
+ */
+
 #include "circuit/gate.hh"
 
 #include <cmath>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * OpenQASM 2.0 exporter: direct emission for standard gates and
+ * ZYZ / KAK-parameter lowering for consolidated unitary blocks.
+ */
+
 #include "circuit/qasm.hh"
 
 #include <cstdio>

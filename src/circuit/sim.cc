@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Statevector simulator: gate application kernels, qubit permutation,
+ * and inner products used to prove functional equivalence of routed
+ * circuits in the tests.
+ */
+
 #include "circuit/sim.hh"
 
 #include <cmath>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Logging implementation: message formatting and the fatal()/panic()
+ * exit/abort behavior split.
+ */
+
 #include "common/logging.hh"
 
 #include <cstdio>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Exact rational arithmetic: normalization, comparison, and __int128
+ * intermediate products with overflow checks.
+ */
+
 #include "common/rational.hh"
 
 #include <cmath>

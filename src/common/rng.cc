@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Deterministic seeded RNG implementation: std::mt19937_64 wrapper
+ * with uniform/index/normal convenience draws.
+ */
+
 #include "common/rng.hh"
 
 // Rng is header-only today; this translation unit anchors the module so the

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Cartan-form interleaved ansatz: circuit construction, parameter
+ * packing, and analytic gradient support for the numerical decomposer.
+ */
+
 #include "decomp/ansatz.hh"
 
 #include <cmath>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Session equivalence library: seeded standard-gate rules, fitted
+ * decompositions cached by quantized unitary, and translateToBasis()
+ * lowering to the root-iSWAP basis.
+ */
+
 #include "decomp/equivalence.hh"
 
 #include <cmath>

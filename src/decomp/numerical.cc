@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Numerical decomposition front-end: exact and best-approximation
+ * fits of two-qubit targets in k basis applications with seeded
+ * optimizer restarts.
+ */
+
 #include "decomp/numerical.hh"
 
 #include "common/logging.hh"

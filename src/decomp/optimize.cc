@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Optimizers: Adam with analytic gradients for the decomposition
+ * ansatz and a generic Nelder-Mead simplex for derivative-free
+ * objectives.
+ */
+
 #include "decomp/optimize.hh"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * H-representation polytope kernel: membership, intersection, vertex
+ * enumeration from facet-plane triples, and facet geometry in exact
+ * rational arithmetic.
+ */
+
 #include "geometry/polytope.hh"
 
 #include <algorithm>

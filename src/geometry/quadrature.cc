@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Deterministic quadrature: uniform tetrahedral subdivision of
+ * polytopes with a degree-2 rule per leaf, used for exact Haar volumes.
+ */
+
 #include "geometry/quadrature.hh"
 
 #include <array>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Layout implementation: logical<->physical bijection storage, swap
+ * updates during routing, and random layout generation.
+ */
+
 #include "layout/layout.hh"
 
 #include <algorithm>

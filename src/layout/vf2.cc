@@ -1,3 +1,9 @@
+/**
+ * @file
+ * VF2-style non-induced subgraph monomorphism search used for the
+ * SWAP-free layout check of the transpiler pipeline.
+ */
+
 #include "layout/vf2.hh"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Small-matrix eigenvalue solvers: Faddeev-LeVerrier characteristic
+ * polynomial with Durand-Kerner roots for complex 4x4 matrices, and a
+ * Jacobi solver for real symmetric ones.
+ */
+
 #include "linalg/eigen.hh"
 
 #include <algorithm>

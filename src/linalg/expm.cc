@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Matrix exponential exp(i H) for small Hermitian H via scaling and
+ * squaring with Taylor evaluation.
+ */
+
 #include "linalg/expm.hh"
 
 #include <cmath>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Fixed-size complex matrix/vector operations: products, adjoints,
+ * determinants, norms, and Kronecker products for the 2x2/4x4 types.
+ */
+
 #include "linalg/matrix.hh"
 
 #include <cmath>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Haar-random unitary sampling via QR decomposition of complex
+ * Ginibre matrices with R-diagonal phase fixing (Mezzadri's recipe).
+ */
+
 #include "linalg/random_unitary.hh"
 
 #include <cmath>

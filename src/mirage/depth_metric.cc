@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Polytope-based circuit metrics: per-gate minimal basis cost from
+ * the monodromy cost model and weighted-longest-path depth estimation.
+ */
+
 #include "mirage/depth_metric.hh"
 
 #include <algorithm>

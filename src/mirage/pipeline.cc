@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Transpilation pipeline implementation: 3Q unrolling, block
+ * consolidation, VF2 short-circuit, routing trials with post-selection,
+ * and metric computation for the SABRE baseline and MIRAGE flows.
+ */
+
 #include "mirage/pipeline.hh"
 
 #include "circuit/consolidate.hh"

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Cost model implementation: coverage-polytope lookup of minimal
+ * basis applications k with a quantized-coordinate LRU table, plus the
+ * decoherence fidelity model of Eq. 2.
+ */
+
 #include "monodromy/cost_model.hh"
 
 #include <cmath>

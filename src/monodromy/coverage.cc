@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Monodromy coverage sets: construction of the alcove polytopes
+ * reachable by k basis applications and their mirror-extended
+ * counterparts (paper Section III).
+ */
+
 #include "monodromy/coverage.hh"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Haar density on the Weyl alcove: the sin^2-product density, its
+ * normalization, and Haar-weighted polytope measures.
+ */
+
 #include "monodromy/haar_density.hh"
 
 #include <cmath>

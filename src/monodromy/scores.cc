@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Haar scores: exact expected decomposition cost by polytope
+ * integration and the Monte Carlo approximation of the paper's
+ * Algorithm 1.
+ */
+
 #include "monodromy/scores.hh"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * SABRE/MIRAGE routing engine: front-layer DAG walk, extended-set
+ * lookahead scoring, SWAP selection, the mirror-gate intermediate layer
+ * with aggression policies, and multi-trial post-selection.
+ */
+
 #include "router/sabre.hh"
 
 #include <algorithm>

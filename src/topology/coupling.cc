@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Coupling map construction (line, ring, grid, heavy-hex,
+ * all-to-all) and BFS all-pairs distances.
+ */
+
 #include "topology/coupling.hh"
 
 #include <algorithm>

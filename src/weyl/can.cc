@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Canonical gate construction CAN(a,b,c) in closed form via the
+ * magic-basis diagonal.
+ */
+
 #include "weyl/can.hh"
 
 #include <cmath>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Named gate catalog: matrices and Weyl coordinates for the standard
+ * one- and two-qubit gates and the root-iSWAP family.
+ */
+
 #include "weyl/catalog.hh"
 
 #include <cmath>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Weyl coordinate extraction: gamma-matrix spectrum analysis,
+ * canonicalization into the positive alcove, and mirror-coordinate
+ * transforms (paper Eq. 1).
+ */
+
 #include "weyl/coordinates.hh"
 
 #include <algorithm>

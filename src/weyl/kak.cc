@@ -1,3 +1,9 @@
+/**
+ * @file
+ * KAK decomposition: magic-basis diagonalization of gamma = V V^T,
+ * local factor extraction, and phase bookkeeping.
+ */
+
 #include "weyl/kak.hh"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Magic (Bell) basis conversions and the real-orthogonal /
+ * diagonal structure checks used by coordinate extraction and KAK.
+ */
+
 #include "weyl/magic.hh"
 
 #include <cmath>

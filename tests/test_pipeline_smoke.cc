@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Build-surface smoke test: drives a small circuit end-to-end through
+ * mirage::mirage_pass::transpile on a line topology and checks that the
+ * MIRAGE flow's estimated depth does not regress versus the no-mirror
+ * SABRE baseline, that the routed circuit is legal for the coupling map,
+ * and that the reported metrics are self-consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generators.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+using circuit::Circuit;
+using topology::CouplingMap;
+
+namespace {
+
+void
+expectLegal(const Circuit &routed, const CouplingMap &coupling)
+{
+    for (const auto &g : routed.gates()) {
+        if (g.isTwoQubit()) {
+            EXPECT_TRUE(coupling.isEdge(g.qubits[0], g.qubits[1]))
+                << g.name() << " on (" << g.qubits[0] << "," << g.qubits[1]
+                << ")";
+        }
+    }
+}
+
+} // namespace
+
+TEST(PipelineSmoke, MirageDepthNoWorseThanSabreOnLine)
+{
+    auto circ = bench::twoLocalFull(4, 1, 11);
+    auto line = CouplingMap::line(4);
+
+    mirage_pass::TranspileOptions base;
+    base.flow = mirage_pass::Flow::SabreBaseline;
+    base.tryVf2 = false;
+    auto sabre = mirage_pass::transpile(circ, line, base);
+
+    mirage_pass::TranspileOptions mir;
+    mir.flow = mirage_pass::Flow::MirageDepth;
+    mir.tryVf2 = false;
+    auto mirage = mirage_pass::transpile(circ, line, mir);
+
+    expectLegal(sabre.routed, line);
+    expectLegal(mirage.routed, line);
+
+    EXPECT_GT(sabre.metrics.depthPulses, 0.0);
+    EXPECT_GT(mirage.metrics.depthPulses, 0.0);
+    EXPECT_LE(mirage.metrics.depthPulses, sabre.metrics.depthPulses);
+}
+
+TEST(PipelineSmoke, ResultFieldsAreConsistent)
+{
+    auto circ = bench::qft(5, true);
+    auto grid = CouplingMap::grid(2, 3);
+
+    mirage_pass::TranspileOptions opts;
+    opts.tryVf2 = false;
+    auto res = mirage_pass::transpile(circ, grid, opts);
+
+    expectLegal(res.routed, grid);
+    EXPECT_GE(res.swapsAdded, 0);
+    EXPECT_GE(res.mirrorCandidates, res.mirrorsAccepted);
+    EXPECT_GE(res.mirrorAcceptRate(), 0.0);
+    EXPECT_LE(res.mirrorAcceptRate(), 1.0);
+    EXPECT_GT(res.routed.size(), 0u);
+}
