@@ -7,6 +7,12 @@
  * caches disabled -- reproducing the Section VI-C observation that the
  * caches keep MIRAGE's runtime competitive with plain SABRE.
  *
+ * BM_TrialEngineSerial / BM_TrialEngineParallel time the dominant
+ * transpile cost -- the full routeWithTrials grid -- with threads=1
+ * versus all hardware threads. Output is bit-identical between the two
+ * (counter-based RNG streams); on an N-core machine the parallel run
+ * should approach N x. The label reports the thread count used.
+ *
  * Built on google-benchmark; pass --benchmark_filter=... to narrow runs.
  */
 
@@ -75,6 +81,54 @@ BM_MirageUncached(benchmark::State &state)
     routeQft(state, router::Aggression::Equal, false);
 }
 
+/** The full trial grid (the Fig. 13 workload's dominant cost). */
+void
+trialEngine(benchmark::State &state, int threads)
+{
+    const int n = int(state.range(0));
+    auto circ = bench::qft(n, true);
+    monodromy::CostModel cost = monodromy::makeRootIswapCostModel(2);
+    circuit::ConsolidateOptions copts;
+    auto consolidated = circuit::consolidateBlocks(circ, copts);
+    // Warm the polytope LRU so both variants measure routing, not
+    // first-touch coverage queries.
+    {
+        router::TrialOptions warm;
+        warm.layoutTrials = 1;
+        warm.swapTrials = 1;
+        warm.pass.costModel = &cost;
+        router::routeWithTrials(consolidated, grid64(), warm);
+    }
+
+    router::TrialOptions opts;
+    opts.layoutTrials = 8;
+    opts.swapTrials = 4;
+    opts.postSelect = router::PostSelect::Depth;
+    opts.trialAggression = router::mirageAggressionMix(opts.layoutTrials);
+    opts.pass.costModel = &cost;
+    opts.seed = 42;
+    opts.threads = threads;
+
+    for (auto _ : state) {
+        auto res = router::routeWithTrials(consolidated, grid64(), opts);
+        benchmark::DoNotOptimize(res.swapsAdded);
+    }
+    state.SetLabel("threads=" +
+                   std::to_string(exec::resolveThreads(threads)));
+}
+
+void
+BM_TrialEngineSerial(benchmark::State &state)
+{
+    trialEngine(state, 1);
+}
+
+void
+BM_TrialEngineParallel(benchmark::State &state)
+{
+    trialEngine(state, 0); // all hardware threads
+}
+
 } // namespace
 
 BENCHMARK(BM_SabreBaseline)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
@@ -82,6 +136,10 @@ BENCHMARK(BM_SabreBaseline)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
 BENCHMARK(BM_MirageCached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MirageUncached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrialEngineSerial)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrialEngineParallel)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -2,14 +2,96 @@
  * @file
  * Table III reproduction: the benchmark suite inventory. Prints each
  * circuit's qubit count and two-qubit gate counts (native and
- * CX-decomposed) next to the count the paper reports.
+ * CX-decomposed) next to the count the paper reports, then times the
+ * whole suite through the MIRAGE pipeline twice -- a serial loop
+ * (threads=1) versus transpileMany on all hardware threads -- and
+ * reports the speedup. The two runs produce bit-identical circuits
+ * (counter-based RNG streams), so the speedup is free.
+ *
+ * Env knobs: MIRAGE_BENCH_TRIALS / MIRAGE_BENCH_SWAP_TRIALS (trial grid,
+ * defaults 8/2 here), MIRAGE_BENCH_TIMING=0 to skip the timing pass.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_circuits/generators.hh"
+#include "bench_util.hh"
+#include "common/exec.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
 
 using namespace mirage;
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Bit-exact transpile-result comparison (gates, layouts, metrics). */
+bool
+identicalResults(const mirage_pass::TranspileResult &a,
+                 const mirage_pass::TranspileResult &b)
+{
+    return circuit::Circuit::bitIdentical(a.routed, b.routed) &&
+           a.initial == b.initial && a.final == b.final &&
+           a.metrics.depth == b.metrics.depth &&
+           a.metrics.totalCost == b.metrics.totalCost;
+}
+
+void
+timeSuite()
+{
+    // Every Table III circuit fits an 8x8 grid (max 18 qubits).
+    const auto grid = topology::CouplingMap::grid(8, 8);
+
+    std::vector<circuit::Circuit> circuits;
+    for (const auto &b : bench::paperBenchmarks())
+        circuits.push_back(b.make());
+
+    mirage_pass::TranspileOptions opts;
+    opts.flow = mirage_pass::Flow::MirageDepth;
+    opts.layoutTrials = benchutil::envInt("MIRAGE_BENCH_TRIALS", 8);
+    opts.swapTrials = benchutil::envInt("MIRAGE_BENCH_SWAP_TRIALS", 2);
+    opts.tryVf2 = false;
+    opts.seed = 0xB3;
+
+    // Warm the process-wide coverage/coordinate caches outside the
+    // timed region (both runs then see the same warm state).
+    mirage_pass::transpile(circuits.front(), grid, opts);
+
+    opts.threads = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    auto serial = mirage_pass::transpileMany(circuits, grid, opts);
+    double serial_ms = millisSince(t0);
+
+    opts.threads = 0; // all hardware threads
+    t0 = std::chrono::steady_clock::now();
+    auto parallel = mirage_pass::transpileMany(circuits, grid, opts);
+    double parallel_ms = millisSince(t0);
+
+    bool identical = serial.size() == parallel.size();
+    for (size_t i = 0; identical && i < serial.size(); ++i)
+        identical = identicalResults(serial[i], parallel[i]);
+
+    std::printf("\n== Suite transpile timing (%d layout x %d swap trials, "
+                "%zu circuits) ==\n",
+                opts.layoutTrials, opts.swapTrials, circuits.size());
+    std::printf("serial   (threads=1): %9.1f ms\n", serial_ms);
+    std::printf("parallel (threads=%d): %9.1f ms\n",
+                exec::defaultThreads(), parallel_ms);
+    std::printf("speedup: %.2fx; outputs bit-identical: %s\n",
+                parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
+                identical ? "yes" : "NO (BUG)");
+}
+
+} // namespace
 
 int
 main()
@@ -29,5 +111,8 @@ main()
     std::printf("\n(The paper counts QASMBench entries natively and\n"
                 "MQTBench entries after CX decomposition; both conventions\n"
                 "are printed for comparison.)\n");
+
+    if (benchutil::envInt("MIRAGE_BENCH_TIMING", 1))
+        timeSuite();
     return 0;
 }

@@ -113,4 +113,31 @@ Circuit::toString() const
     return out;
 }
 
+bool
+Circuit::bitIdentical(const Circuit &a, const Circuit &b)
+{
+    if (a.numQubits() != b.numQubits() || a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Gate &ga = a.gates()[i];
+        const Gate &gb = b.gates()[i];
+        if (ga.kind != gb.kind || ga.qubits != gb.qubits ||
+            ga.params != gb.params || ga.mirrored != gb.mirrored)
+            return false;
+        if (ga.mat2.has_value() != gb.mat2.has_value() ||
+            (ga.mat2.has_value() && ga.mat2->a != gb.mat2->a))
+            return false;
+        if (ga.mat4.has_value() != gb.mat4.has_value() ||
+            (ga.mat4.has_value() && ga.mat4->a != gb.mat4->a))
+            return false;
+        if (ga.coords.has_value() != gb.coords.has_value())
+            return false;
+        if (ga.coords.has_value() &&
+            (ga.coords->a != gb.coords->a || ga.coords->b != gb.coords->b ||
+             ga.coords->c != gb.coords->c))
+            return false;
+    }
+    return true;
+}
+
 } // namespace mirage::circuit

@@ -126,6 +126,16 @@ class Circuit
     /** Human-readable one-line-per-gate dump. */
     std::string toString() const;
 
+    /**
+     * Bit-exact structural equality: same wire count and gate list,
+     * with every numeric field (params, matrices, coords) compared
+     * with == rather than a tolerance. This is the comparison behind
+     * the thread-count-determinism guarantee of the parallel trial
+     * engine; tests and benches share it so the field list cannot
+     * silently drift.
+     */
+    static bool bitIdentical(const Circuit &a, const Circuit &b);
+
   private:
     int numQubits_ = 0;
     std::string name_ = "circuit";

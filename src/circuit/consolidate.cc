@@ -11,6 +11,8 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include <mutex>
+
 #include "common/lru_cache.hh"
 #include "weyl/coordinates.hh"
 
@@ -59,6 +61,13 @@ coordCache()
     return cache;
 }
 
+std::mutex &
+coordCacheMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 /** An open 2Q block being accumulated. */
 struct OpenBlock
 {
@@ -73,6 +82,7 @@ struct OpenBlock
 void
 clearCoordinateCache()
 {
+    std::lock_guard<std::mutex> lock(coordCacheMutex());
     coordCache().clear();
 }
 
@@ -96,14 +106,22 @@ consolidateBlocks(const Circuit &input, const ConsolidateOptions &opts,
         if (!opts.annotateCoords)
             return;
         if (opts.useCoordinateCache) {
+            // The cache is process-wide shared state: callers running
+            // transpile() concurrently from their own threads would
+            // otherwise race here (transpileMany itself consolidates
+            // sequentially).
             MatKey key = quantize(*g.mat4);
-            if (auto hit = coordCache().get(key)) {
-                ++local.coordCacheHits;
-                g.coords = *hit;
-                return;
+            {
+                std::lock_guard<std::mutex> lock(coordCacheMutex());
+                if (auto hit = coordCache().get(key)) {
+                    ++local.coordCacheHits;
+                    g.coords = *hit;
+                    return;
+                }
             }
             ++local.coordCacheMisses;
             g.coords = weyl::weylCoordinates(*g.mat4);
+            std::lock_guard<std::mutex> lock(coordCacheMutex());
             coordCache().put(key, *g.coords);
         } else {
             ++local.coordCacheMisses;

@@ -1,12 +1,17 @@
 /**
  * @file
- * OpenQASM 2.0 exporter: direct emission for standard gates and
- * ZYZ / KAK-parameter lowering for consolidated unitary blocks.
+ * OpenQASM 2.0 exporter and importer: direct emission for standard
+ * gates, ZYZ / KAK-parameter lowering for consolidated unitary blocks,
+ * and a recursive-descent parser for the emitted dialect.
  */
 
 #include "circuit/qasm.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
 
 #include "common/logging.hh"
 #include "weyl/catalog.hh"
@@ -122,6 +127,348 @@ toQasm(const Circuit &circuit)
           }
         }
     }
+    return out;
+}
+
+namespace {
+
+/** Gate-name table for the importer (inverse of Gate::name()). */
+struct GateSpec
+{
+    GateKind kind;
+    int operands;
+    int params;
+};
+
+const std::map<std::string, GateSpec> &
+gateTable()
+{
+    static const std::map<std::string, GateSpec> table = {
+        {"id", {GateKind::I, 1, 0}},      {"x", {GateKind::X, 1, 0}},
+        {"y", {GateKind::Y, 1, 0}},       {"z", {GateKind::Z, 1, 0}},
+        {"h", {GateKind::H, 1, 0}},       {"s", {GateKind::S, 1, 0}},
+        {"sdg", {GateKind::Sdg, 1, 0}},   {"t", {GateKind::T, 1, 0}},
+        {"tdg", {GateKind::Tdg, 1, 0}},   {"sx", {GateKind::SX, 1, 0}},
+        {"rx", {GateKind::RX, 1, 1}},     {"ry", {GateKind::RY, 1, 1}},
+        {"rz", {GateKind::RZ, 1, 1}},     {"u3", {GateKind::U3, 1, 3}},
+        {"cx", {GateKind::CX, 2, 0}},     {"cz", {GateKind::CZ, 2, 0}},
+        {"cp", {GateKind::CP, 2, 1}},     {"crx", {GateKind::CRX, 2, 1}},
+        {"cry", {GateKind::CRY, 2, 1}},   {"crz", {GateKind::CRZ, 2, 1}},
+        {"swap", {GateKind::SWAP, 2, 0}}, {"iswap", {GateKind::ISWAP, 2, 0}},
+        {"rxx", {GateKind::RXX, 2, 1}},   {"ryy", {GateKind::RYY, 2, 1}},
+        {"rzz", {GateKind::RZZ, 2, 1}},   {"ccx", {GateKind::CCX, 3, 0}},
+        {"cswap", {GateKind::CSWAP, 3, 0}},
+    };
+    return table;
+}
+
+/** Character-level cursor over the QASM text. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    bool atEnd() { skipSpace(); return pos_ >= s_.size(); }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c == '/' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+                while (pos_ < s_.size() && s_[pos_] != '\n')
+                    ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                if (c == '\n')
+                    ++line_;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fatal("qasm parse error at line %d: expected '%c'", line_, c);
+    }
+
+    /** [A-Za-z_][A-Za-z0-9_]* */
+    std::string
+    identifier()
+    {
+        skipSpace();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '_'))
+            ++pos_;
+        if (pos_ == start)
+            fatal("qasm parse error at line %d: expected identifier", line_);
+        return s_.substr(start, pos_ - start);
+    }
+
+    int
+    integer()
+    {
+        skipSpace();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fatal("qasm parse error at line %d: expected integer", line_);
+        try {
+            return std::stoi(s_.substr(start, pos_ - start));
+        } catch (const std::exception &) {
+            fatal("qasm parse error at line %d: integer out of range",
+                  line_);
+        }
+    }
+
+    // Constant expression grammar: expr := term (('+'|'-') term)*,
+    // term := factor (('*'|'/') factor)*, factor := ('+'|'-') factor |
+    // '(' expr ')' | number | 'pi'.
+    double
+    expression()
+    {
+        double v = term();
+        for (;;) {
+            if (consume('+'))
+                v += term();
+            else if (consume('-'))
+                v -= term();
+            else
+                return v;
+        }
+    }
+
+    void
+    skipStringLiteral()
+    {
+        expect('"');
+        while (pos_ < s_.size() && s_[pos_] != '"')
+            ++pos_;
+        expect('"');
+    }
+
+    int line() const { return line_; }
+
+  private:
+    double
+    term()
+    {
+        double v = factor();
+        for (;;) {
+            if (consume('*'))
+                v *= factor();
+            else if (consume('/'))
+                v /= factor();
+            else
+                return v;
+        }
+    }
+
+    double
+    factor()
+    {
+        if (consume('-'))
+            return -factor();
+        if (consume('+'))
+            return factor();
+        if (consume('(')) {
+            double v = expression();
+            expect(')');
+            return v;
+        }
+        skipSpace();
+        if (pos_ < s_.size() &&
+            std::isalpha(static_cast<unsigned char>(s_[pos_]))) {
+            std::string name = identifier();
+            if (name == "pi")
+                return linalg::kPi;
+            fatal("qasm parse error at line %d: unknown constant '%s'",
+                  line_, name.c_str());
+        }
+        // In-place parse (no tail copy; strtod stops at the first
+        // non-numeric character). s_ is a std::string, so c_str() is
+        // NUL-terminated past the literal.
+        const char *begin = s_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin)
+            fatal("qasm parse error at line %d: expected number", line_);
+        pos_ += size_t(end - begin);
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+} // namespace
+
+Circuit
+fromQasm(const std::string &text)
+{
+    Parser p(text);
+
+    // Header.
+    {
+        std::string kw = p.identifier();
+        if (kw != "OPENQASM")
+            fatal("qasm parse error: expected OPENQASM header, got '%s'",
+                  kw.c_str());
+        p.expression(); // version number (e.g. 2.0)
+        p.expect(';');
+    }
+
+    // Registers are concatenated into one flat wire space in declaration
+    // order, matching how the exporter writes a single register "q".
+    struct QReg
+    {
+        std::string name;
+        int base;
+        int size;
+    };
+    std::vector<QReg> qregs;
+    int num_qubits = 0;
+
+    std::vector<Gate> gates;
+
+    auto findReg = [&](const std::string &reg) -> const QReg & {
+        for (const auto &r : qregs) {
+            if (r.name == reg)
+                return r;
+        }
+        fatal("qasm parse error: unknown register '%s'", reg.c_str());
+    };
+
+    auto wireOf = [&](const std::string &reg, int idx) {
+        const QReg &r = findReg(reg);
+        if (idx < 0 || idx >= r.size)
+            fatal("qasm parse error: index %d out of range for %s[%d]",
+                  idx, reg.c_str(), r.size);
+        return r.base + idx;
+    };
+
+    while (!p.atEnd()) {
+        std::string word = p.identifier();
+
+        if (word == "include") {
+            p.skipStringLiteral();
+            p.expect(';');
+            continue;
+        }
+        if (word == "qreg" || word == "creg") {
+            std::string name = p.identifier();
+            p.expect('[');
+            int n = p.integer();
+            p.expect(']');
+            p.expect(';');
+            if (word == "qreg") {
+                qregs.push_back({name, num_qubits, n});
+                num_qubits += n;
+            }
+            continue;
+        }
+        if (word == "measure") {
+            // measure q[i] -> c[i]; (skipped: the IR has no classical bits)
+            p.identifier();
+            if (p.consume('[')) {
+                p.integer();
+                p.expect(']');
+            }
+            p.expect('-');
+            p.expect('>');
+            p.identifier();
+            if (p.consume('[')) {
+                p.integer();
+                p.expect(']');
+            }
+            p.expect(';');
+            continue;
+        }
+        if (word == "barrier") {
+            std::vector<int> qubits;
+            do {
+                std::string reg = p.identifier();
+                if (p.consume('[')) {
+                    int idx = p.integer();
+                    p.expect(']');
+                    qubits.push_back(wireOf(reg, idx));
+                } else {
+                    const auto &r = findReg(reg);
+                    for (int i = 0; i < r.size; ++i)
+                        qubits.push_back(r.base + i);
+                }
+            } while (p.consume(','));
+            p.expect(';');
+            gates.push_back(makeBarrier(std::move(qubits)));
+            continue;
+        }
+
+        auto it = gateTable().find(word);
+        if (it == gateTable().end())
+            fatal("qasm parse error at line %d: unsupported statement '%s'",
+                  p.line(), word.c_str());
+        const GateSpec &spec = it->second;
+
+        std::vector<double> params;
+        if (p.consume('(')) {
+            do {
+                params.push_back(p.expression());
+            } while (p.consume(','));
+            p.expect(')');
+        }
+        if (int(params.size()) != spec.params)
+            fatal("qasm parse error at line %d: %s expects %d params, got "
+                  "%d", p.line(), word.c_str(), spec.params,
+                  int(params.size()));
+
+        std::vector<int> qubits;
+        do {
+            std::string reg = p.identifier();
+            p.expect('[');
+            int idx = p.integer();
+            p.expect(']');
+            qubits.push_back(wireOf(reg, idx));
+        } while (p.consume(','));
+        p.expect(';');
+        if (int(qubits.size()) != spec.operands)
+            fatal("qasm parse error at line %d: %s expects %d operands, got "
+                  "%d", p.line(), word.c_str(), spec.operands,
+                  int(qubits.size()));
+
+        Gate g;
+        g.kind = spec.kind;
+        g.qubits = std::move(qubits);
+        g.params = std::move(params);
+        gates.push_back(std::move(g));
+    }
+
+    Circuit out(num_qubits, "qasm");
+    for (auto &g : gates)
+        out.append(std::move(g));
     return out;
 }
 

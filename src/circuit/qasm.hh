@@ -1,10 +1,16 @@
 /**
  * @file
- * OpenQASM 2.0 export.
+ * OpenQASM 2.0 export and import.
  *
- * Standard gates map directly; Unitary1Q/Unitary2Q blocks are emitted via
- * their ZYZ / KAK parameters so the output is loadable by any QASM 2
- * toolchain (CNOT basis for the KAK core).
+ * Export: standard gates map directly; Unitary1Q/Unitary2Q blocks are
+ * emitted via their ZYZ / KAK parameters so the output is loadable by any
+ * QASM 2 toolchain (CNOT basis for the KAK core).
+ *
+ * Import: fromQasm parses the dialect toQasm emits -- qelib1 standard
+ * gates (plus rxx/ryy/rzz/iswap extensions), one or more qreg
+ * declarations, barriers, and constant parameter expressions over
+ * numbers and pi with + - * / and parentheses. Classical registers and
+ * measurements are skipped; gate definitions are not supported.
  */
 
 #ifndef MIRAGE_CIRCUIT_QASM_HH
@@ -18,6 +24,9 @@ namespace mirage::circuit {
 
 /** Serialize a circuit as OpenQASM 2.0. */
 std::string toQasm(const Circuit &circuit);
+
+/** Parse OpenQASM 2.0 text (the exporter's dialect); fatal on errors. */
+Circuit fromQasm(const std::string &text);
 
 } // namespace mirage::circuit
 

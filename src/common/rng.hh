@@ -5,6 +5,11 @@
  * All stochastic components (coverage-set sampling, Haar sampling, SABRE
  * layout trials, numerical-optimizer restarts) draw from an explicitly
  * seeded Rng so every experiment in the repository is reproducible.
+ *
+ * For parallel work, deriveSeed/StreamRng provide counter-based streams:
+ * value = PRF(seed, stream, counter) with no sequential state, so each
+ * work item's randomness is a pure function of its index and results do
+ * not depend on thread count or scheduling order.
  */
 
 #ifndef MIRAGE_COMMON_RNG_HH
@@ -14,6 +19,77 @@
 #include <random>
 
 namespace mirage {
+
+/** SplitMix64 finalizer: a high-quality 64-bit bit mixer. */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Counter-based PRF over (seed, stream, counter): the canonical way to
+ * derive independent sub-seeds for parallel work.
+ *
+ * Conceptually this is a tiny keyed hash: the (seed, stream) pair forms
+ * the key, `counter` indexes into the stream, and the output depends
+ * only on the three inputs -- no hidden state, no draw order. Distinct
+ * (seed, stream) keys give sequences with no shared prefix (unlike
+ * seeding SplitMix64 at nearby counters, where stream j is stream i
+ * shifted), so trial j on thread 3 sees exactly the random values it
+ * would see serially.
+ */
+constexpr uint64_t
+deriveSeed(uint64_t seed, uint64_t stream, uint64_t counter = 0)
+{
+    // Golden-ratio / Moremur-style odd constants decorrelate the three
+    // inputs before each mix round.
+    uint64_t key = mix64(seed + 0x9E3779B97F4A7C15ULL);
+    key = mix64(key ^ (stream * 0xD1B54A32D192ED03ULL +
+                       0x8CB92BA72F3D8DD7ULL));
+    return mix64(key ^ (counter * 0x2545F4914F6CDD1DULL +
+                        0x632BE59BD9B4E019ULL));
+}
+
+/**
+ * A counter-based random stream: stateless apart from the position
+ * counter, so stream (seed, s) at counter c always yields
+ * deriveSeed(seed, s, c). Satisfies UniformRandomBitGenerator; use it
+ * directly or as a seed source for heavier engines.
+ */
+class StreamRng
+{
+  public:
+    using result_type = uint64_t;
+
+    StreamRng(uint64_t seed, uint64_t stream)
+        : seed_(seed), stream_(stream)
+    {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~uint64_t(0); }
+
+    /** Next value in the stream (advances the counter). */
+    result_type operator()() { return deriveSeed(seed_, stream_, counter_++); }
+
+    /** Random-access peek at an arbitrary counter (no state change). */
+    uint64_t at(uint64_t counter) const
+    {
+        return deriveSeed(seed_, stream_, counter);
+    }
+
+    uint64_t counter() const { return counter_; }
+
+  private:
+    uint64_t seed_;
+    uint64_t stream_;
+    uint64_t counter_ = 0;
+};
 
 /**
  * Thin wrapper around std::mt19937_64 with convenience draws.

@@ -7,6 +7,8 @@
 
 #include "mirage/pipeline.hh"
 
+#include <optional>
+
 #include "circuit/consolidate.hh"
 #include "common/logging.hh"
 #include "layout/vf2.hh"
@@ -60,9 +62,12 @@ unrollThreeQubit(const Circuit &input)
     return out;
 }
 
+namespace {
+
+/** transpile() with an optional externally owned trial-grid pool. */
 TranspileResult
-transpile(const Circuit &input, const topology::CouplingMap &coupling,
-          const TranspileOptions &opts)
+transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
+              const TranspileOptions &opts, exec::ThreadPool *pool)
 {
     MIRAGE_ASSERT(opts.rootDegree >= 1, "bad basis root degree");
     const monodromy::CostModel cost_model =
@@ -102,6 +107,8 @@ transpile(const Circuit &input, const topology::CouplingMap &coupling,
     topts.forwardBackwardPasses = opts.forwardBackwardPasses;
     topts.swapTrials = opts.swapTrials;
     topts.seed = opts.seed;
+    topts.threads = opts.threads;
+    topts.pool = pool;
     topts.pass.costModel = &cost_model;
 
     switch (opts.flow) {
@@ -136,6 +143,36 @@ transpile(const Circuit &input, const topology::CouplingMap &coupling,
     result.mirrorCandidates = routed.mirrorCandidates;
     result.metrics = computeMetrics(result.routed, cost_model);
     return result;
+}
+
+} // namespace
+
+TranspileResult
+transpile(const Circuit &input, const topology::CouplingMap &coupling,
+          const TranspileOptions &opts)
+{
+    return transpileImpl(input, coupling, opts, nullptr);
+}
+
+std::vector<TranspileResult>
+transpileMany(std::span<const Circuit> circuits,
+              const topology::CouplingMap &coupling,
+              const TranspileOptions &opts)
+{
+    // One pool outlives the whole batch; every circuit's trial grid
+    // fans out on it. Circuits are processed in order -- each result is
+    // identical to a standalone transpile() because all randomness is
+    // keyed by (opts.seed, trial), never by batch position.
+    std::optional<exec::ThreadPool> pool;
+    if (opts.threads != 1)
+        pool.emplace(opts.threads);
+
+    std::vector<TranspileResult> results;
+    results.reserve(circuits.size());
+    for (const Circuit &c : circuits)
+        results.push_back(
+            transpileImpl(c, coupling, opts, pool ? &*pool : nullptr));
+    return results;
 }
 
 } // namespace mirage::mirage_pass

@@ -13,7 +13,11 @@
 #ifndef MIRAGE_MIRAGE_PIPELINE_HH
 #define MIRAGE_MIRAGE_PIPELINE_HH
 
+#include <span>
+#include <vector>
+
 #include "circuit/circuit.hh"
+#include "common/exec.hh"
 #include "mirage/depth_metric.hh"
 #include "router/sabre.hh"
 #include "topology/coupling.hh"
@@ -41,6 +45,12 @@ struct TranspileOptions
     int swapTrials = 4;
     bool tryVf2 = true;
     uint64_t seed = 20240229;
+    /**
+     * Worker threads for the routing-trial grid: 1 = serial (default),
+     * 0 = hardware concurrency, N = exactly N. The transpiled circuit is
+     * bit-identical for every setting (see router::TrialOptions).
+     */
+    int threads = 1;
 };
 
 /** Pipeline result. */
@@ -70,6 +80,19 @@ circuit::Circuit unrollThreeQubit(const circuit::Circuit &input);
 TranspileResult transpile(const circuit::Circuit &input,
                           const topology::CouplingMap &coupling,
                           const TranspileOptions &opts = {});
+
+/**
+ * Batch transpilation: route many circuits against one device, sharing
+ * a single thread pool across all of their trial grids (the serving
+ * shape -- one warm pool, many requests). Each circuit is processed
+ * with the same options, and its result is bit-identical to a
+ * standalone transpile(circuits[i], coupling, opts) call: the batch API
+ * changes throughput, never output.
+ */
+std::vector<TranspileResult>
+transpileMany(std::span<const circuit::Circuit> circuits,
+              const topology::CouplingMap &coupling,
+              const TranspileOptions &opts = {});
 
 } // namespace mirage::mirage_pass
 

@@ -36,9 +36,16 @@ CostModel::kFor(const Coord &c) const
     Key key{int64_t(std::llround(c.a * 1e7)),
             int64_t(std::llround(c.b * 1e7)),
             int64_t(std::llround(c.c * 1e7))};
-    if (auto hit = cache_.get(key))
-        return *hit;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (auto hit = cache_.get(key))
+            return *hit;
+    }
+    // Polytope iteration runs unlocked; concurrent misses on the same
+    // key just compute the same value and the second put is a no-op
+    // overwrite.
     int k = coverage_->minK(c);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     cache_.put(key, k);
     return k;
 }

@@ -13,6 +13,7 @@
 #define MIRAGE_MONODROMY_COST_MODEL_HH
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/lru_cache.hh"
 #include "monodromy/coverage.hh"
@@ -22,11 +23,24 @@ namespace mirage::monodromy {
 /** Eq. 2 fidelity for a pulse train of total duration d (iSWAP units). */
 double decayFidelity(double duration);
 
-/** Cost/fidelity oracle for one basis gate. */
+/**
+ * Cost/fidelity oracle for one basis gate.
+ *
+ * Safe to share across threads: parallel routing trials
+ * (router::routeWithTrials with threads > 1) query one instance
+ * concurrently, so the LRU lookup is serialized by an internal mutex.
+ * The underlying CoverageSet queries (minK) are const and lock-free.
+ */
 class CostModel
 {
   public:
     explicit CostModel(const CoverageSet &coverage);
+
+    /** Copies share the coverage set but get a fresh, empty cache. */
+    CostModel(const CostModel &o)
+        : coverage_(o.coverage_), swapCost_(o.swapCost_),
+          cacheEnabled_(o.cacheEnabled_)
+    {}
 
     const BasisSpec &basis() const { return coverage_->basis(); }
     double basisDuration() const { return coverage_->basis().duration; }
@@ -48,8 +62,16 @@ class CostModel
         return decayFidelity(costOf(c));
     }
 
-    uint64_t cacheHits() const { return cache_.hits(); }
-    uint64_t cacheMisses() const { return cache_.misses(); }
+    uint64_t cacheHits() const
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        return cache_.hits();
+    }
+    uint64_t cacheMisses() const
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        return cache_.misses();
+    }
     /** Disable/enable the LRU (for the Fig. 13 ablation). */
     void setCacheEnabled(bool enabled) { cacheEnabled_ = enabled; }
 
@@ -79,6 +101,7 @@ class CostModel
     const CoverageSet *coverage_;
     double swapCost_ = 0;
     bool cacheEnabled_ = true;
+    mutable std::mutex cacheMutex_;
     mutable LruCache<Key, int, KeyHash> cache_;
 };
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <numeric>
 
 #include "common/logging.hh"
@@ -419,7 +420,13 @@ CoverageSet::mirrorHaarFractionAt(int k) const
 const CoverageSet &
 coverageForRootIswap(int n)
 {
+    // Recursive: building root n inserts its divisor parents first. The
+    // lock guards callers invoking transpile() concurrently from their
+    // own threads (transpileMany constructs cost models sequentially);
+    // references stay valid because std::map never relocates nodes.
+    static std::recursive_mutex registry_mutex;
     static std::map<int, CoverageSet> registry;
+    std::lock_guard<std::recursive_mutex> lock(registry_mutex);
     auto it = registry.find(n);
     if (it == registry.end()) {
         // Largest proper divisor gives the tightest exact parent.

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <mutex>
 
 #include "circuit/dag.hh"
 #include "common/logging.hh"
@@ -431,55 +432,104 @@ mirageAggressionMix(int trials)
     return mix;
 }
 
+namespace {
+
+/**
+ * Per-trial RNG stream layout (counters within stream (seed, trial)):
+ * counter 0 seeds the random initial layout, counters 1..2P seed the P
+ * forward/backward refinement passes, and counter 2P+1+st seeds swap
+ * trial st. Every value is a pure function of (seed, trial, counter),
+ * so a trial computes identical results on any thread.
+ */
+enum : uint64_t { kLayoutCounter = 0, kRefineBase = 1 };
+
+PassOptions
+passForTrial(const TrialOptions &opts, int trial)
+{
+    PassOptions pass = opts.pass;
+    if (!opts.trialAggression.empty())
+        pass.aggression = opts.trialAggression[size_t(trial) %
+                                               opts.trialAggression.size()];
+    return pass;
+}
+
+} // namespace
+
 RouteResult
 routeWithTrials(const Circuit &circuit, const CouplingMap &coupling,
                 const TrialOptions &opts)
 {
-    Rng trial_rng(opts.seed);
+    MIRAGE_ASSERT(opts.layoutTrials > 0 && opts.swapTrials > 0,
+                  "need at least one layout and one swap trial");
+    if (opts.postSelect == PostSelect::Depth) {
+        MIRAGE_ASSERT(opts.pass.costModel,
+                      "depth post-selection needs a cost model");
+    }
     Circuit reversed = circuit.reversed();
 
-    std::optional<RouteResult> best;
-    double best_metric = std::numeric_limits<double>::infinity();
+    // Null pool = pure serial fast path; otherwise use the caller's
+    // pool or spin up a local one.
+    std::optional<exec::ThreadPool> local_pool;
+    exec::ThreadPool *pool = opts.pool;
+    if (!pool && opts.threads != 1) {
+        local_pool.emplace(opts.threads);
+        pool = &*local_pool;
+    }
 
-    for (int trial = 0; trial < opts.layoutTrials; ++trial) {
-        PassOptions pass = opts.pass;
-        if (!opts.trialAggression.empty())
-            pass.aggression =
-                opts.trialAggression[size_t(trial) %
-                                     opts.trialAggression.size()];
+    const int trials = opts.layoutTrials;
+    const int swap_trials = opts.swapTrials;
+    const uint64_t swap_base =
+        kRefineBase + 2 * uint64_t(opts.forwardBackwardPasses);
 
-        Layout layout = Layout::random(coupling.numQubits(), trial_rng);
-
-        // Forward/backward refinement (SabreLayout).
+    // Stage 1: independent layout trials with fwd/bwd refinement.
+    std::vector<Layout> refined(static_cast<size_t>(trials));
+    exec::parallelFor(pool, trials, [&](int64_t t) {
+        StreamRng stream(opts.seed, uint64_t(t));
+        PassOptions pass = passForTrial(opts, int(t));
+        Rng layout_rng(stream.at(kLayoutCounter));
+        Layout layout = Layout::random(coupling.numQubits(), layout_rng);
         for (int iter = 0; iter < opts.forwardBackwardPasses; ++iter) {
-            pass.seed = trial_rng.engine()();
+            pass.seed = stream.at(kRefineBase + 2 * uint64_t(iter));
             RouteResult fwd = routePass(circuit, coupling, layout, pass);
-            pass.seed = trial_rng.engine()();
-            RouteResult bwd =
-                routePass(reversed, coupling, fwd.final, pass);
+            pass.seed = stream.at(kRefineBase + 2 * uint64_t(iter) + 1);
+            RouteResult bwd = routePass(reversed, coupling, fwd.final, pass);
             layout = bwd.final;
         }
+        refined[size_t(t)] = layout;
+    });
 
-        // Final forward routes (independent swap trials).
-        for (int st = 0; st < opts.swapTrials; ++st) {
-            pass.seed = trial_rng.engine()();
-            RouteResult res = routePass(circuit, coupling, layout, pass);
-            double metric;
-            if (opts.postSelect == PostSelect::Swaps) {
-                metric = res.swapsAdded;
-            } else {
-                MIRAGE_ASSERT(opts.pass.costModel,
-                              "depth post-selection needs a cost model");
-                metric = res.estDepth;
-            }
-            if (metric < best_metric) {
-                best_metric = metric;
-                best = std::move(res);
-            }
+    // Stage 2: the flattened layoutTrials x swapTrials grid of final
+    // forward routes, reduced streamingly to the lexicographic
+    // (metric, grid-index) minimum. Taking the lowest index among equal
+    // metrics reproduces the serial strictly-lower-wins loop exactly,
+    // independent of completion order, while keeping only the running
+    // best result live instead of the whole grid.
+    const int64_t grid = int64_t(trials) * int64_t(swap_trials);
+    std::optional<RouteResult> best;
+    double best_metric = std::numeric_limits<double>::infinity();
+    int64_t best_idx = grid;
+    std::mutex best_mutex;
+    exec::parallelFor(pool, grid, [&](int64_t i) {
+        int t = int(i / swap_trials);
+        int st = int(i % swap_trials);
+        PassOptions pass = passForTrial(opts, t);
+        pass.seed = StreamRng(opts.seed, uint64_t(t))
+                        .at(swap_base + uint64_t(st));
+        RouteResult res =
+            routePass(circuit, coupling, refined[size_t(t)], pass);
+        double metric = opts.postSelect == PostSelect::Swaps
+                            ? double(res.swapsAdded)
+                            : res.estDepth;
+        std::lock_guard<std::mutex> lock(best_mutex);
+        if (metric < best_metric ||
+            (metric == best_metric && i < best_idx)) {
+            best_metric = metric;
+            best_idx = i;
+            best = std::move(res);
         }
-    }
+    });
     MIRAGE_ASSERT(best.has_value(), "no routing trial succeeded");
-    return *best;
+    return std::move(*best);
 }
 
 } // namespace mirage::router

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "circuit/circuit.hh"
+#include "common/exec.hh"
 #include "layout/layout.hh"
 #include "monodromy/cost_model.hh"
 #include "topology/coupling.hh"
@@ -78,7 +79,19 @@ RouteResult routePass(const circuit::Circuit &circuit,
                       const layout::Layout &initial,
                       const PassOptions &opts);
 
-/** Options for the full multi-trial flow (SabreLayout-style). */
+/**
+ * Options for the full multi-trial flow (SabreLayout-style).
+ *
+ * Seed precedence: routeWithTrials derives EVERY random decision from
+ * TrialOptions::seed via counter-based streams keyed by the layout-trial
+ * index -- the random initial layout of trial t and the pass seeds of
+ * its forward/backward refinements and swap trials are all
+ * deriveSeed(seed, t, counter) values. `pass.seed` is therefore ignored
+ * by routeWithTrials (it only matters for direct routePass calls); this
+ * central derivation means callers cannot accidentally reuse one pass
+ * seed across swap trials, and results are bit-identical for any
+ * `threads` value.
+ */
 struct TrialOptions
 {
     int layoutTrials = 4;
@@ -91,6 +104,18 @@ struct TrialOptions
     std::vector<Aggression> trialAggression;
     PassOptions pass;
     uint64_t seed = 12345;
+    /**
+     * Worker threads for the trial grid: 1 = serial on the calling
+     * thread (default), 0 = hardware concurrency, N = exactly N workers.
+     * Output is bit-identical for every setting.
+     */
+    int threads = 1;
+    /**
+     * Optional externally owned pool (overrides `threads`); lets batch
+     * callers (mirage_pass::transpileMany) share workers across circuits
+     * instead of spawning a pool per call.
+     */
+    exec::ThreadPool *pool = nullptr;
 };
 
 /** The paper's 5/45/45/5 aggression distribution over `trials` slots. */

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Simulation-backed routing-equivalence oracle for the test suite.
+ *
+ * A routed circuit R with initial layout Li and final layout Lf is
+ * correct iff  R * P(Li) == P(Lf) * C  as operators on the physical
+ * wire space, where C is the input circuit lifted to the device size and
+ * P(L) permutes logical qubit q onto physical wire L(q). Routing SWAPs
+ * and MIRAGE mirror gates both fold into Lf, so this single check covers
+ * plain SABRE and every mirror aggression level.
+ *
+ * For small devices (<= kMaxUnitaryCheckQubits physical qubits) the
+ * check is exhaustive: both sides are applied to every computational
+ * basis state, giving full unitary equivalence up to one global phase.
+ * Larger devices fall back to a randomized check from Haar-ish random
+ * states -- a single state already certifies equivalence with
+ * overwhelming probability, and callers can raise `states` for more.
+ */
+
+#ifndef MIRAGE_TESTS_SUPPORT_EQUIVALENCE_HH
+#define MIRAGE_TESTS_SUPPORT_EQUIVALENCE_HH
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+
+#include "circuit/circuit.hh"
+#include "circuit/sim.hh"
+#include "layout/layout.hh"
+
+namespace mirage::testsupport {
+
+/** Largest device checked exhaustively (2^n basis-state simulations). */
+inline constexpr int kMaxUnitaryCheckQubits = 6;
+
+/** Lift a logical circuit onto n_phys wires (pads idle wires). */
+inline circuit::Circuit
+liftToDevice(const circuit::Circuit &c, int n_phys)
+{
+    circuit::Circuit lifted(n_phys, c.name());
+    for (const auto &g : c.gates())
+        lifted.append(g);
+    return lifted;
+}
+
+/**
+ * Overlap |<lhs|rhs>| for one input state where
+ * lhs = routed(P(initial) |psi>) and rhs = P(final)(original |psi>).
+ * 1.0 means the state is mapped identically up to global phase.
+ */
+inline double
+routedStateOverlap(const circuit::Circuit &original,
+                   const circuit::Circuit &routed,
+                   const layout::Layout &initial,
+                   const layout::Layout &final_layout,
+                   const circuit::StateVector &psi)
+{
+    circuit::StateVector lhs = psi.permuted(initial.logicalToPhysical());
+    lhs.applyCircuit(routed);
+
+    circuit::StateVector rhs = psi;
+    rhs.applyCircuit(liftToDevice(original, psi.numQubits()));
+    rhs = rhs.permuted(final_layout.logicalToPhysical());
+
+    return std::abs(lhs.inner(rhs));
+}
+
+/**
+ * Exhaustive unitary equivalence on <= kMaxUnitaryCheckQubits wires:
+ * compares the full operator column by column, requiring one CONSISTENT
+ * global phase across all 2^n basis states (a per-column phase would
+ * hide diagonal-phase routing bugs that single-state overlaps miss).
+ */
+inline ::testing::AssertionResult
+unitaryEquivalent(const circuit::Circuit &original,
+                  const circuit::Circuit &routed,
+                  const layout::Layout &initial,
+                  const layout::Layout &final_layout, int n_phys,
+                  double tol = 1e-9)
+{
+    if (n_phys > kMaxUnitaryCheckQubits) {
+        return ::testing::AssertionFailure()
+               << "unitaryEquivalent limited to "
+               << kMaxUnitaryCheckQubits << " qubits, got " << n_phys;
+    }
+    const circuit::Circuit lifted = liftToDevice(original, n_phys);
+    const uint64_t dim = uint64_t(1) << n_phys;
+
+    std::complex<double> phase(0.0, 0.0);
+    bool phase_fixed = false;
+    for (uint64_t col = 0; col < dim; ++col) {
+        circuit::StateVector basis(n_phys);
+        basis.amplitudes().assign(size_t(dim), 0.0);
+        basis.amplitudes()[col] = 1.0;
+
+        circuit::StateVector lhs =
+            basis.permuted(initial.logicalToPhysical());
+        lhs.applyCircuit(routed);
+        circuit::StateVector rhs = basis;
+        rhs.applyCircuit(lifted);
+        rhs = rhs.permuted(final_layout.logicalToPhysical());
+
+        if (!phase_fixed) {
+            // Fix the global phase once, on the largest entry of the
+            // first column (magnitude >= 1/sqrt(dim), so the division
+            // is well conditioned).
+            uint64_t arg_max = 0;
+            for (uint64_t row = 1; row < dim; ++row) {
+                if (std::abs(rhs.amplitudes()[row]) >
+                    std::abs(rhs.amplitudes()[arg_max]))
+                    arg_max = row;
+            }
+            phase = lhs.amplitudes()[arg_max] / rhs.amplitudes()[arg_max];
+            phase_fixed = true;
+        }
+
+        for (uint64_t row = 0; row < dim; ++row) {
+            std::complex<double> l = lhs.amplitudes()[row];
+            std::complex<double> r = rhs.amplitudes()[row];
+            std::complex<double> expect = phase * r;
+            if (std::abs(l - expect) > tol) {
+                return ::testing::AssertionFailure()
+                       << "operator mismatch at column " << col << " row "
+                       << row << ": routed " << l.real() << "+"
+                       << l.imag() << "i vs original*phase "
+                       << expect.real() << "+" << expect.imag()
+                       << "i (|phase|=" << std::abs(phase) << ")";
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * The routing oracle: exhaustive unitary check on small devices,
+ * randomized state overlap otherwise.
+ */
+inline void
+expectRoutedEquivalent(const circuit::Circuit &original,
+                       const circuit::Circuit &routed,
+                       const layout::Layout &initial,
+                       const layout::Layout &final_layout, int n_phys,
+                       uint64_t seed = 0xE9A1, int states = 2)
+{
+    if (n_phys <= kMaxUnitaryCheckQubits) {
+        EXPECT_TRUE(unitaryEquivalent(original, routed, initial,
+                                      final_layout, n_phys));
+        return;
+    }
+    Rng rng(seed);
+    for (int i = 0; i < states; ++i) {
+        circuit::StateVector psi(n_phys);
+        psi.randomize(rng);
+        EXPECT_NEAR(routedStateOverlap(original, routed, initial,
+                                       final_layout, psi),
+                    1.0, 1e-9)
+            << "random-state check " << i << " (seed " << seed << ")";
+    }
+}
+
+} // namespace mirage::testsupport
+
+#endif // MIRAGE_TESTS_SUPPORT_EQUIVALENCE_HH

@@ -4,17 +4,21 @@
  * mirage::mirage_pass::transpile on a line topology and checks that the
  * MIRAGE flow's estimated depth does not regress versus the no-mirror
  * SABRE baseline, that the routed circuit is legal for the coupling map,
- * and that the reported metrics are self-consistent.
+ * that the routed circuit is unitarily equivalent to the input (via the
+ * simulation-backed oracle in support/equivalence.hh), and that the
+ * reported metrics are self-consistent.
  */
 
 #include <gtest/gtest.h>
 
 #include "bench_circuits/generators.hh"
 #include "mirage/pipeline.hh"
+#include "support/equivalence.hh"
 #include "topology/coupling.hh"
 
 using namespace mirage;
 using circuit::Circuit;
+using testsupport::expectRoutedEquivalent;
 using topology::CouplingMap;
 
 namespace {
@@ -51,6 +55,13 @@ TEST(PipelineSmoke, MirageDepthNoWorseThanSabreOnLine)
     expectLegal(sabre.routed, line);
     expectLegal(mirage.routed, line);
 
+    // Both flows must implement the input unitary exactly (up to the
+    // layout permutations and a global phase).
+    expectRoutedEquivalent(circ, sabre.routed, sabre.initial, sabre.final,
+                           line.numQubits());
+    expectRoutedEquivalent(circ, mirage.routed, mirage.initial,
+                           mirage.final, line.numQubits());
+
     EXPECT_GT(sabre.metrics.depthPulses, 0.0);
     EXPECT_GT(mirage.metrics.depthPulses, 0.0);
     EXPECT_LE(mirage.metrics.depthPulses, sabre.metrics.depthPulses);
@@ -66,6 +77,8 @@ TEST(PipelineSmoke, ResultFieldsAreConsistent)
     auto res = mirage_pass::transpile(circ, grid, opts);
 
     expectLegal(res.routed, grid);
+    expectRoutedEquivalent(circ, res.routed, res.initial, res.final,
+                           grid.numQubits());
     EXPECT_GE(res.swapsAdded, 0);
     EXPECT_GE(res.mirrorCandidates, res.mirrorsAccepted);
     EXPECT_GE(res.mirrorAcceptRate(), 0.0);

@@ -10,6 +10,7 @@
 #include "bench_circuits/generators.hh"
 #include "circuit/consolidate.hh"
 #include "circuit/sim.hh"
+#include "support/equivalence.hh"
 #include "weyl/catalog.hh"
 #include "mirage/pipeline.hh"
 #include "router/sabre.hh"
@@ -18,6 +19,7 @@ using namespace mirage;
 using namespace mirage::router;
 using circuit::Circuit;
 using circuit::StateVector;
+using testsupport::expectRoutedEquivalent;
 using topology::CouplingMap;
 
 namespace {
@@ -33,33 +35,6 @@ expectLegal(const Circuit &routed, const CouplingMap &coupling)
                 << ")";
         }
     }
-}
-
-/**
- * Functional equivalence: routed(embed(psi, initial)) ==
- * embed(original(psi), final) up to global phase.
- */
-double
-equivalenceOverlap(const Circuit &original, const Circuit &routed,
-                   const layout::Layout &initial,
-                   const layout::Layout &final_layout, int n_phys,
-                   uint64_t seed)
-{
-    Rng rng(seed);
-    StateVector psi(n_phys);
-    psi.randomize(rng);
-
-    StateVector lhs = psi.permuted(initial.logicalToPhysical());
-    lhs.applyCircuit(routed);
-
-    Circuit lifted(n_phys, original.name());
-    for (const auto &g : original.gates())
-        lifted.append(g);
-    StateVector rhs = psi;
-    rhs.applyCircuit(lifted);
-    rhs = rhs.permuted(final_layout.logicalToPhysical());
-
-    return std::abs(lhs.inner(rhs));
 }
 
 Circuit
@@ -100,9 +75,7 @@ TEST(Sabre, FunctionalEquivalenceOnLine)
     auto line = CouplingMap::line(5);
     PassOptions opts;
     RouteResult res = routePass(circ, line, layout::Layout(5), opts);
-    double overlap = equivalenceOverlap(circ, res.routed, res.initial,
-                                        res.final, 5, 99);
-    EXPECT_NEAR(overlap, 1.0, 1e-9);
+    expectRoutedEquivalent(circ, res.routed, res.initial, res.final, 5);
 }
 
 TEST(Sabre, FunctionalEquivalenceRandomCircuits)
@@ -116,9 +89,8 @@ TEST(Sabre, FunctionalEquivalenceRandomCircuits)
         auto init = layout::Layout::random(9, lay_rng);
         RouteResult res = routePass(circ, grid, init, opts);
         expectLegal(res.routed, grid);
-        double overlap = equivalenceOverlap(circ, res.routed, res.initial,
-                                            res.final, 9, seed + 5);
-        EXPECT_NEAR(overlap, 1.0, 1e-9) << "seed " << seed;
+        expectRoutedEquivalent(circ, res.routed, res.initial, res.final, 9,
+                               seed + 5);
     }
 }
 
@@ -145,10 +117,7 @@ TEST(Mirage, MirrorsAcceptedAndEquivalent)
     RouteResult res = routePass(circ, line, layout::Layout(4), opts);
     expectLegal(res.routed, line);
     EXPECT_GT(res.mirrorCandidates, 0);
-
-    double overlap = equivalenceOverlap(circ, res.routed, res.initial,
-                                        res.final, 4, 42);
-    EXPECT_NEAR(overlap, 1.0, 1e-9);
+    expectRoutedEquivalent(circ, res.routed, res.initial, res.final, 4);
 }
 
 TEST(Mirage, AllAggressionLevelsStayCorrect)
@@ -168,10 +137,8 @@ TEST(Mirage, AllAggressionLevelsStayCorrect)
             auto init = layout::Layout::random(9, lay_rng);
             RouteResult res = routePass(circ, grid, init, opts);
             expectLegal(res.routed, grid);
-            double overlap = equivalenceOverlap(
-                circ, res.routed, res.initial, res.final, 9, seed);
-            EXPECT_NEAR(overlap, 1.0, 1e-9)
-                << "aggression " << int(a) << " seed " << seed;
+            expectRoutedEquivalent(circ, res.routed, res.initial,
+                                   res.final, 9, seed);
         }
     }
 }
@@ -214,6 +181,37 @@ TEST(Trials, DeterministicForFixedSeed)
     EXPECT_EQ(a.swapsAdded, b.swapsAdded);
     EXPECT_EQ(a.routed.size(), b.routed.size());
     EXPECT_TRUE(a.initial == b.initial);
+}
+
+TEST(Trials, RoutedCircuitsAreUnitarilyEquivalent)
+{
+    // Full-operator equivalence (up to layout permutations and one
+    // global phase) for the multi-trial flow with the paper's mirror
+    // mix, on every <= 6-qubit device family we route in the suite.
+    auto cost = monodromy::makeRootIswapCostModel(2);
+    struct Case { Circuit circ; CouplingMap coupling; };
+    std::vector<Case> cases;
+    cases.push_back({bench::qft(5, true), CouplingMap::line(5)});
+    cases.push_back({bench::qft(6, true), CouplingMap::grid(2, 3)});
+    cases.push_back(
+        {circuit::consolidateBlocks(bench::twoLocalFull(4, 1, 3)),
+         CouplingMap::line(4)});
+    cases.push_back({bench::wstate(6), CouplingMap::ring(6)});
+
+    for (size_t i = 0; i < cases.size(); ++i) {
+        TrialOptions opts;
+        opts.layoutTrials = 4;
+        opts.swapTrials = 2;
+        opts.seed = 900 + i;
+        opts.postSelect = PostSelect::Depth;
+        opts.trialAggression = mirageAggressionMix(4);
+        opts.pass.costModel = &cost;
+        RouteResult res =
+            routeWithTrials(cases[i].circ, cases[i].coupling, opts);
+        expectLegal(res.routed, cases[i].coupling);
+        expectRoutedEquivalent(cases[i].circ, res.routed, res.initial,
+                               res.final, cases[i].coupling.numQubits());
+    }
 }
 
 TEST(Trials, AggressionMixMatchesPaperFractions)
