@@ -13,13 +13,22 @@
  * (counter-based RNG streams); on an N-core machine the parallel run
  * should approach N x. The label reports the thread count used.
  *
+ * BM_LoweringCold / BM_LoweringWarm / BM_LoweringWarmStart time the
+ * basis-translation stage: a cold equivalence library (every distinct
+ * block is a numerical fit), a warm shared library (pure cache hits),
+ * and a fresh library warm-started from a saved cache (loadCache +
+ * pure hits -- the cross-process caching win).
+ *
  * Built on google-benchmark; pass --benchmark_filter=... to narrow runs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "bench_circuits/generators.hh"
 #include "circuit/consolidate.hh"
+#include "decomp/equivalence.hh"
 #include "mirage/pipeline.hh"
 #include "monodromy/cost_model.hh"
 #include "router/sabre.hh"
@@ -129,6 +138,67 @@ BM_TrialEngineParallel(benchmark::State &state)
     trialEngine(state, 0); // all hardware threads
 }
 
+/** Consolidated QFT(n) blocks, the lowering workload. */
+circuit::Circuit
+loweringInput(int n)
+{
+    return circuit::consolidateBlocks(bench::qft(n, true));
+}
+
+/** Cold: a fresh library per iteration; every distinct block is a fit. */
+void
+BM_LoweringCold(benchmark::State &state)
+{
+    auto circ = loweringInput(int(state.range(0)));
+    for (auto _ : state) {
+        decomp::EquivalenceLibrary lib(2, /*preseed=*/false);
+        auto lowered = lib.translate(circ);
+        benchmark::DoNotOptimize(lowered.size());
+    }
+    state.SetLabel("cold (fits)");
+}
+
+/** Warm: one shared library, fitted once outside the timed region. */
+void
+BM_LoweringWarm(benchmark::State &state)
+{
+    auto circ = loweringInput(int(state.range(0)));
+    decomp::EquivalenceLibrary lib(2, /*preseed=*/false);
+    (void)lib.translate(circ);
+    for (auto _ : state) {
+        auto lowered = lib.translate(circ);
+        benchmark::DoNotOptimize(lowered.size());
+    }
+    state.SetLabel("warm (cache hits)");
+}
+
+/**
+ * Warm start: a fresh library per iteration loading a saved cache --
+ * what a new process pays instead of refitting (loadCache + hits).
+ */
+void
+BM_LoweringWarmStart(benchmark::State &state)
+{
+    auto circ = loweringInput(int(state.range(0)));
+    std::string saved;
+    {
+        decomp::EquivalenceLibrary lib(2, /*preseed=*/false);
+        (void)lib.translate(circ);
+        std::ostringstream out;
+        lib.saveCache(out);
+        saved = out.str();
+    }
+    for (auto _ : state) {
+        decomp::EquivalenceLibrary lib(2, /*preseed=*/false);
+        std::istringstream in(saved);
+        bool ok = lib.loadCache(in);
+        auto lowered = lib.translate(circ);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(lowered.size());
+    }
+    state.SetLabel("loadCache + hits");
+}
+
 } // namespace
 
 BENCHMARK(BM_SabreBaseline)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
@@ -140,6 +210,12 @@ BENCHMARK(BM_MirageUncached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
 BENCHMARK(BM_TrialEngineSerial)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrialEngineParallel)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoweringCold)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoweringWarm)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoweringWarmStart)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

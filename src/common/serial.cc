@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hexfloat encode/decode and the sticky-failure token reader backing
+ * the equivalence-library cache files.
+ */
+
+#include "common/serial.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mirage::serial {
+
+std::string
+encodeDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+bool
+decodeDouble(const std::string &token, double *out)
+{
+    if (token.empty())
+        return false;
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    double v = std::strtod(begin, &end);
+    // Reject partial parses and non-finite values: an overflowing
+    // hexfloat ("0x1p+99999" -> inf) or a literal "inf"/"nan" token is
+    // corruption, not data (no cache field is legitimately non-finite).
+    if (end != begin + token.size() || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+std::string
+TokenReader::token()
+{
+    if (!ok_)
+        return "";
+    std::string t;
+    if (!(in_ >> t)) {
+        ok_ = false;
+        return "";
+    }
+    return t;
+}
+
+int64_t
+TokenReader::i64()
+{
+    std::string t = token();
+    if (!ok_)
+        return 0;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(t.c_str(), &end, 10);
+    if (errno != 0 || end != t.c_str() + t.size()) {
+        ok_ = false;
+        return 0;
+    }
+    return int64_t(v);
+}
+
+double
+TokenReader::f64()
+{
+    std::string t = token();
+    double v = 0;
+    if (!ok_)
+        return 0;
+    if (!decodeDouble(t, &v)) {
+        ok_ = false;
+        return 0;
+    }
+    return v;
+}
+
+void
+TokenReader::expect(const std::string &expected)
+{
+    if (token() != expected)
+        ok_ = false;
+}
+
+} // namespace mirage::serial

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exact-round-trip serialization helpers for the persistent caches.
+ *
+ * Fitted decompositions are expensive to recompute, so the equivalence
+ * library persists them across processes (saveCache/loadCache). The
+ * warm-started library must reproduce *bit-identical* output, which
+ * rules out decimal floating-point formatting: doubles are written as
+ * C99 hexfloats ("%a"), which strtod recovers exactly. A small
+ * whitespace-token reader with sticky error state keeps the cache
+ * parsers short and makes truncated/corrupt files fail loudly instead
+ * of loading garbage.
+ */
+
+#ifndef MIRAGE_COMMON_SERIAL_HH
+#define MIRAGE_COMMON_SERIAL_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+namespace mirage::serial {
+
+/** Format a double as a C99 hexfloat; strtod parses it back exactly. */
+std::string encodeDouble(double v);
+
+/**
+ * Parse a hexfloat (or any strtod-accepted) token back to a double.
+ * Returns false if the token is not fully consumed by strtod or does
+ * not represent a finite value.
+ */
+bool decodeDouble(const std::string &token, double *out);
+
+/**
+ * Whitespace-delimited token reader over an istream with sticky
+ * failure: after the first failed read every subsequent call reports
+ * failure too, so parsers can batch reads and check ok() once.
+ */
+class TokenReader
+{
+  public:
+    explicit TokenReader(std::istream &in) : in_(in) {}
+
+    bool ok() const { return ok_; }
+
+    /** Next token, or "" on failure. */
+    std::string token();
+
+    /** Next token parsed as the requested type (failure is sticky). */
+    int64_t i64();
+    double f64();
+
+    /** Fail unless the next token equals `expected` exactly. */
+    void expect(const std::string &expected);
+
+  private:
+    std::istream &in_;
+    bool ok_ = true;
+};
+
+} // namespace mirage::serial
+
+#endif // MIRAGE_COMMON_SERIAL_HH

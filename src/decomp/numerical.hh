@@ -27,6 +27,20 @@ Decomposition decomposeWithK(const Mat4 &target, const Mat4 &basis, int k,
                              Rng &rng, const FitOptions &opts = {});
 
 /**
+ * Like decomposeWithK, but fits the CANONICAL gate CAN(a,b,c) of the
+ * target and grafts the exact KAK local factors onto the outermost
+ * ansatz layers. The optimization landscape of the bare canonical gate
+ * is far better conditioned than that of a locally dressed block
+ * (small-angle controlled-phase blocks routinely fit to ~1e-14 via the
+ * canonical form where the direct fit stalls around 1e-5), and the
+ * grafting is exact, so the achieved fidelity carries over. The
+ * reported fidelity is re-evaluated against the original target.
+ */
+Decomposition decomposeViaCanonical(const Mat4 &target, const Mat4 &basis,
+                                    int k, Rng &rng,
+                                    const FitOptions &opts = {});
+
+/**
  * Smallest k in [0, max_k] whose fit reaches `min_fidelity`; the fit for
  * that k is returned (or the best found at max_k when none reaches it).
  */

@@ -27,8 +27,12 @@ fitAnsatz(const Mat4 &target, const Mat4 &basis, int k, Rng &rng,
     int evals = 0;
     for (int restart = 0; restart < opts.restarts; ++restart) {
         std::vector<double> p(static_cast<size_t>(np));
-        for (auto &x : p)
-            x = rng.uniform(-linalg::kPi, linalg::kPi);
+        if (restart == 0 && int(opts.initialGuess.size()) == np) {
+            p = opts.initialGuess;
+        } else {
+            for (auto &x : p)
+                x = rng.uniform(-linalg::kPi, linalg::kPi);
+        }
 
         // Adam with analytic gradients (maximize fidelity = minimize -F).
         std::vector<double> m(size_t(np), 0.0), v(size_t(np), 0.0);

@@ -36,6 +36,13 @@ struct FitOptions
     double targetInfidelity = 1e-10;
     /** Run a Nelder-Mead polish on the best start. */
     bool polish = true;
+    /**
+     * Optional warm start: when the size matches the ansatz parameter
+     * count, the FIRST restart begins here instead of at a random
+     * point (remaining restarts stay random). Used by the continuation
+     * fallback for ill-conditioned near-identity targets.
+     */
+    std::vector<double> initialGuess;
 };
 
 /**

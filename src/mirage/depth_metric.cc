@@ -39,4 +39,29 @@ computeMetrics(const circuit::Circuit &circuit,
     return m;
 }
 
+CircuitMetrics
+measuredPulseMetrics(const circuit::Circuit &circuit, double pulse_duration)
+{
+    CircuitMetrics m;
+    std::vector<double> wire_depth(size_t(circuit.numQubits()), 0.0);
+
+    for (const auto &g : circuit.gates()) {
+        if (g.isBarrier() || g.isOneQubit())
+            continue;
+        m.totalCost += pulse_duration;
+        ++m.twoQubitGates;
+        if (g.kind == circuit::GateKind::SWAP)
+            ++m.swapGates;
+        double start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, wire_depth[size_t(q)]);
+        for (int q : g.qubits)
+            wire_depth[size_t(q)] = start + pulse_duration;
+        m.depth = std::max(m.depth, start + pulse_duration);
+    }
+    m.depthPulses = m.depth / pulse_duration;
+    m.totalPulses = m.totalCost / pulse_duration;
+    return m;
+}
+
 } // namespace mirage::mirage_pass

@@ -38,6 +38,17 @@ struct CircuitMetrics
 CircuitMetrics computeMetrics(const circuit::Circuit &circuit,
                               const monodromy::CostModel &cost_model);
 
+/**
+ * Metrics MEASURED from an explicitly lowered circuit (RootISWAP + 1Q
+ * gates, as produced by decomp::EquivalenceLibrary::translate): every
+ * two-qubit gate is one basis pulse of `pulse_duration`, one-qubit
+ * gates are free. On a lowered circuit totalPulses is the emitted pulse
+ * count and depthPulses the pulse-critical path -- the measured
+ * counterparts of the polytope estimates from computeMetrics.
+ */
+CircuitMetrics measuredPulseMetrics(const circuit::Circuit &circuit,
+                                    double pulse_duration);
+
 } // namespace mirage::mirage_pass
 
 #endif // MIRAGE_MIRAGE_DEPTH_METRIC_HH

@@ -64,10 +64,35 @@ unrollThreeQubit(const Circuit &input)
 
 namespace {
 
-/** transpile() with an optional externally owned trial-grid pool. */
+/**
+ * Final pipeline stage: lower the routed circuit to explicit basis
+ * pulses and measure the pulse metrics the polytope stage estimated.
+ */
+void
+lowerResult(TranspileResult &result, const TranspileOptions &opts,
+            const monodromy::CostModel &cost_model,
+            decomp::EquivalenceLibrary *library)
+{
+    if (!opts.lowerToBasis)
+        return;
+    MIRAGE_ASSERT(library != nullptr, "lowerToBasis needs a library");
+    MIRAGE_ASSERT(library->rootDegree() == opts.rootDegree,
+                  "equivalence library basis does not match rootDegree");
+    result.lowered = library->translate(result.routed,
+                                        &result.translateStats);
+    result.loweredMetrics =
+        measuredPulseMetrics(result.lowered, cost_model.basisDuration());
+    result.loweredToBasis = true;
+}
+
+/**
+ * transpile() with an optional externally owned trial-grid pool and
+ * equivalence library.
+ */
 TranspileResult
 transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
-              const TranspileOptions &opts, exec::ThreadPool *pool)
+              const TranspileOptions &opts, exec::ThreadPool *pool,
+              decomp::EquivalenceLibrary *library)
 {
     MIRAGE_ASSERT(opts.rootDegree >= 1, "bad basis root degree");
     const monodromy::CostModel cost_model =
@@ -97,6 +122,7 @@ transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
             result.final = *vf2;
             result.usedVf2 = true;
             result.metrics = computeMetrics(result.routed, cost_model);
+            lowerResult(result, opts, cost_model, library);
             return result;
         }
     }
@@ -142,6 +168,7 @@ transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
     result.mirrorsAccepted = routed.mirrorsAccepted;
     result.mirrorCandidates = routed.mirrorCandidates;
     result.metrics = computeMetrics(result.routed, cost_model);
+    lowerResult(result, opts, cost_model, library);
     return result;
 }
 
@@ -151,7 +178,11 @@ TranspileResult
 transpile(const Circuit &input, const topology::CouplingMap &coupling,
           const TranspileOptions &opts)
 {
-    return transpileImpl(input, coupling, opts, nullptr);
+    std::optional<decomp::EquivalenceLibrary> local_lib;
+    decomp::EquivalenceLibrary *lib = opts.equivalenceLibrary;
+    if (opts.lowerToBasis && !lib)
+        lib = &local_lib.emplace(opts.rootDegree);
+    return transpileImpl(input, coupling, opts, nullptr, lib);
 }
 
 std::vector<TranspileResult>
@@ -167,11 +198,19 @@ transpileMany(std::span<const Circuit> circuits,
     if (opts.threads != 1)
         pool.emplace(opts.threads);
 
+    // Likewise one equivalence library serves every circuit: cached
+    // fits are pure functions of the target unitary, so sharing them
+    // across the batch changes throughput, never output.
+    std::optional<decomp::EquivalenceLibrary> local_lib;
+    decomp::EquivalenceLibrary *lib = opts.equivalenceLibrary;
+    if (opts.lowerToBasis && !lib)
+        lib = &local_lib.emplace(opts.rootDegree);
+
     std::vector<TranspileResult> results;
     results.reserve(circuits.size());
     for (const Circuit &c : circuits)
-        results.push_back(
-            transpileImpl(c, coupling, opts, pool ? &*pool : nullptr));
+        results.push_back(transpileImpl(c, coupling, opts,
+                                        pool ? &*pool : nullptr, lib));
     return results;
 }
 

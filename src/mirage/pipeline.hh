@@ -18,6 +18,7 @@
 
 #include "circuit/circuit.hh"
 #include "common/exec.hh"
+#include "decomp/equivalence.hh"
 #include "mirage/depth_metric.hh"
 #include "router/sabre.hh"
 #include "topology/coupling.hh"
@@ -51,6 +52,22 @@ struct TranspileOptions
      * bit-identical for every setting (see router::TrialOptions).
      */
     int threads = 1;
+    /**
+     * Run basis translation as a final stage: lower the routed circuit
+     * to RootISWAP + 1Q gates (decomp::EquivalenceLibrary::translate)
+     * and report MEASURED pulse metrics next to the polytope estimates.
+     */
+    bool lowerToBasis = false;
+    /**
+     * Optional externally owned equivalence library (must match
+     * rootDegree). Share one instance across calls to reuse fitted
+     * decompositions -- fitting dominates lowering cost, and a shared
+     * or warm-loaded cache never changes output (fits are pure
+     * functions of the target unitary). When null and lowerToBasis is
+     * set, transpile() builds a private library; transpileMany() builds
+     * one shared by the whole batch.
+     */
+    decomp::EquivalenceLibrary *equivalenceLibrary = nullptr;
 };
 
 /** Pipeline result. */
@@ -64,6 +81,18 @@ struct TranspileResult
     int mirrorsAccepted = 0;
     int mirrorCandidates = 0;
     bool usedVf2 = false;
+
+    /** True when TranspileOptions::lowerToBasis ran (fields below set). */
+    bool loweredToBasis = false;
+    /** The routed circuit lowered to RootISWAP + 1Q gates. */
+    circuit::Circuit lowered;
+    /** Translation statistics (fits, cache hits, worst infidelity). */
+    decomp::TranslateStats translateStats;
+    /**
+     * Metrics measured on `lowered` (one pulse per RootISWAP) -- the
+     * measured counterpart of the polytope estimate in `metrics`.
+     */
+    CircuitMetrics loweredMetrics;
 
     double
     mirrorAcceptRate() const
@@ -84,10 +113,13 @@ TranspileResult transpile(const circuit::Circuit &input,
 /**
  * Batch transpilation: route many circuits against one device, sharing
  * a single thread pool across all of their trial grids (the serving
- * shape -- one warm pool, many requests). Each circuit is processed
+ * shape -- one warm pool, many requests). With lowerToBasis set, one
+ * equivalence library also serves the whole batch, so fitted
+ * decompositions are reused across circuits. Each circuit is processed
  * with the same options, and its result is bit-identical to a
  * standalone transpile(circuits[i], coupling, opts) call: the batch API
- * changes throughput, never output.
+ * changes throughput, never output (shared caches included -- fits are
+ * pure functions of the target unitary).
  */
 std::vector<TranspileResult>
 transpileMany(std::span<const circuit::Circuit> circuits,

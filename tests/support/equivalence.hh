@@ -15,6 +15,12 @@
  * Larger devices fall back to a randomized check from Haar-ish random
  * states -- a single state already certifies equivalence with
  * overwhelming probability, and callers can raise `states` for more.
+ *
+ * The same oracle covers BASIS-LOWERED circuits: a circuit lowered by
+ * decomp::EquivalenceLibrary::translate keeps the routed circuit's
+ * initial/final layouts, it just approximates each block numerically.
+ * Callers pass a tolerance derived from the reported fit error
+ * (loweringTolerance) instead of the default near-exact 1e-9.
  */
 
 #ifndef MIRAGE_TESTS_SUPPORT_EQUIVALENCE_HH
@@ -133,19 +139,35 @@ unitaryEquivalent(const circuit::Circuit &original,
 }
 
 /**
+ * Amplitude tolerance for a circuit lowered with the given reported
+ * fit errors: each block of process infidelity e contributes at most
+ * ~sqrt(2e) operator-norm error, and errors add linearly in the worst
+ * case. The floor keeps the tolerance meaningful when every fit is
+ * essentially exact.
+ */
+inline double
+loweringTolerance(double root_infidelity_sum)
+{
+    return 1e-7 + 8.0 * root_infidelity_sum;
+}
+
+/**
  * The routing oracle: exhaustive unitary check on small devices,
- * randomized state overlap otherwise.
+ * randomized state overlap otherwise. `tol` is the per-amplitude
+ * (respectively overlap) tolerance -- the default expects an exact
+ * routing transform; lowered circuits pass loweringTolerance(...).
  */
 inline void
 expectRoutedEquivalent(const circuit::Circuit &original,
                        const circuit::Circuit &routed,
                        const layout::Layout &initial,
                        const layout::Layout &final_layout, int n_phys,
-                       uint64_t seed = 0xE9A1, int states = 2)
+                       uint64_t seed = 0xE9A1, int states = 2,
+                       double tol = 1e-9)
 {
     if (n_phys <= kMaxUnitaryCheckQubits) {
         EXPECT_TRUE(unitaryEquivalent(original, routed, initial,
-                                      final_layout, n_phys));
+                                      final_layout, n_phys, tol));
         return;
     }
     Rng rng(seed);
@@ -154,7 +176,7 @@ expectRoutedEquivalent(const circuit::Circuit &original,
         psi.randomize(rng);
         EXPECT_NEAR(routedStateOverlap(original, routed, initial,
                                        final_layout, psi),
-                    1.0, 1e-9)
+                    1.0, tol)
             << "random-state check " << i << " (seed " << seed << ")";
     }
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "circuit/sim.hh"
 #include "decomp/ansatz.hh"
@@ -182,4 +183,64 @@ TEST(Equivalence, TranslationPulseBudgetMatchesCostModel)
     TranslateStats stats;
     (void)lib.translate(c, &stats);
     EXPECT_NEAR(stats.totalPulses, 9.0, 1e-12);
+}
+
+TEST(Equivalence, KeyCollisionFallsBackToFreshFit)
+{
+    // Regression: the cache used to trust the 64-bit key of the
+    // quantized unitary, so a hash collision silently returned the
+    // WRONG decomposition. Force every key to collide and check that
+    // the stored quantized matrix disambiguates.
+    EquivalenceLibrary lib(2, /*preseed=*/false);
+    lib.forceKeyCollisionsForTest();
+
+    const Decomposition &cx = lib.lookup(weyl::gateCX());
+    EXPECT_EQ(cx.k, 2);
+    EXPECT_EQ(lib.collisionCount(), 0u);
+
+    // Same 64-bit key as CX now, different unitary: the buggy code
+    // returned the k=2 CX entry here.
+    const Decomposition &swap = lib.lookup(weyl::gateSWAP());
+    EXPECT_EQ(swap.k, 3);
+    EXPECT_GT(swap.fidelity, 1.0 - 1e-6);
+    EXPECT_EQ(lib.collisionCount(), 1u);
+    EXPECT_EQ(lib.cacheSize(), 2u);
+
+    // Chained entries are still cached: repeat lookups hit, not refit.
+    uint64_t fits = lib.fitCount();
+    const Decomposition &swap_again = lib.lookup(weyl::gateSWAP());
+    EXPECT_EQ(&swap, &swap_again);
+    EXPECT_EQ(lib.fitCount(), fits);
+
+    // And the collided entries survive a save/load round trip.
+    std::stringstream cache;
+    lib.saveCache(cache);
+    EquivalenceLibrary fresh(2, /*preseed=*/false);
+    fresh.forceKeyCollisionsForTest();
+    ASSERT_TRUE(fresh.loadCache(cache));
+    EXPECT_EQ(fresh.cacheSize(), 2u);
+    EXPECT_EQ(fresh.lookup(weyl::gateSWAP()).k, 3);
+    EXPECT_EQ(fresh.fitCount(), 0u);
+}
+
+TEST(Equivalence, SaveLoadRoundTripIsExact)
+{
+    EquivalenceLibrary lib(2);
+    std::stringstream cache;
+    lib.saveCache(cache);
+
+    EquivalenceLibrary fresh(2, /*preseed=*/false);
+    ASSERT_TRUE(fresh.loadCache(cache));
+    EXPECT_EQ(fresh.cacheSize(), lib.cacheSize());
+
+    // Looking up a preseeded gate must be a pure cache hit with
+    // bit-exact parameters (hexfloat serialization loses nothing).
+    const Decomposition &a = lib.lookup(weyl::gateCX());
+    const Decomposition &b = fresh.lookup(weyl::gateCX());
+    EXPECT_EQ(fresh.fitCount(), 0u);
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.fidelity, b.fidelity);
+    ASSERT_EQ(a.params.size(), b.params.size());
+    for (size_t i = 0; i < a.params.size(); ++i)
+        EXPECT_EQ(a.params[i], b.params[i]) << "param " << i;
 }

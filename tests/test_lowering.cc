@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Simulator-verified basis-lowering suite.
+ *
+ * Drives every Table III generator family through the full pipeline
+ * with TranspileOptions::lowerToBasis and proves, via the shared
+ * equivalence oracle, that the lowered circuit implements the input
+ * unitary: exhaustively (full operator, one consistent global phase)
+ * for families instantiated on <= 6 physical qubits, by randomized
+ * state overlap for the fixed-size larger families. Every lowered
+ * circuit must contain only RootISWAP + one-qubit gates, report
+ * worstInfidelity below 1e-6, and have measured pulse metrics
+ * consistent with the polytope estimates.
+ *
+ * Also holds the golden-snapshot regression: three small benchmark
+ * circuits lowered without routing are compared gate-for-gate against
+ * committed QASM snapshots (tests/golden/), and the depth_metric
+ * estimate must match TranslateStats::totalPulses exactly on
+ * consolidated inputs. Set MIRAGE_REGEN_GOLDEN=1 to rewrite the
+ * snapshots after an intentional change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench_circuits/generators.hh"
+#include "circuit/consolidate.hh"
+#include "circuit/qasm.hh"
+#include "decomp/equivalence.hh"
+#include "mirage/pipeline.hh"
+#include "support/equivalence.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+using circuit::Circuit;
+using circuit::GateKind;
+using topology::CouplingMap;
+
+namespace {
+
+/** Every 2Q gate is a RootISWAP of the expected degree; rest is 1Q. */
+void
+expectBasisOnly(const Circuit &lowered, int root_degree)
+{
+    for (const auto &g : lowered.gates()) {
+        if (g.isBarrier())
+            continue;
+        if (g.isTwoQubit()) {
+            ASSERT_EQ(g.kind, GateKind::RootISWAP) << g.name();
+            EXPECT_EQ(int(g.params.at(0)), root_degree);
+        } else {
+            EXPECT_TRUE(g.isOneQubit()) << g.name();
+        }
+    }
+}
+
+/**
+ * Full-pipeline lowering check for one circuit: transpile with
+ * lowerToBasis, verify the gate set, the infidelity bar, the
+ * estimated-vs-measured metric consistency, and simulator equivalence
+ * of the LOWERED circuit against the original input.
+ */
+void
+checkLowering(const Circuit &circ, const CouplingMap &coupling,
+              int layout_trials = 4, int states = 1)
+{
+    mirage_pass::TranspileOptions opts;
+    opts.flow = mirage_pass::Flow::MirageDepth;
+    opts.tryVf2 = false;
+    opts.layoutTrials = layout_trials;
+    opts.lowerToBasis = true;
+    auto res = mirage_pass::transpile(circ, coupling, opts);
+
+    ASSERT_TRUE(res.loweredToBasis);
+    ASSERT_GT(res.lowered.size(), 0u);
+    expectBasisOnly(res.lowered, opts.rootDegree);
+
+    EXPECT_LT(res.translateStats.worstInfidelity, 1e-6);
+    EXPECT_EQ(res.translateStats.blocksTranslated,
+              res.translateStats.cacheHits + res.translateStats.newFits);
+
+    // Measured metrics must agree with the translation stats exactly,
+    // and the polytope estimate can never exceed the measurement (a
+    // fitted block uses at least the polytope-minimal pulse count).
+    EXPECT_NEAR(res.loweredMetrics.totalPulses,
+                res.translateStats.totalPulses, 1e-9);
+    EXPECT_GE(res.loweredMetrics.totalPulses + 1e-9,
+              res.metrics.totalPulses);
+    EXPECT_GE(res.loweredMetrics.depthPulses + 1e-9,
+              res.metrics.depthPulses);
+    EXPECT_EQ(res.loweredMetrics.swapGates, 0);
+
+    double tol = testsupport::loweringTolerance(
+        res.translateStats.rootInfidelitySum);
+    testsupport::expectRoutedEquivalent(circ, res.lowered, res.initial,
+                                        res.final, coupling.numQubits(),
+                                        0xE9A1, states, tol);
+}
+
+} // namespace
+
+// --- Table III families on <= 6 qubits: exhaustive operator check ---------
+
+TEST(LoweringFamilies, WState)
+{
+    checkLowering(bench::wstate(5), CouplingMap::line(5));
+}
+
+TEST(LoweringFamilies, QftEntangled)
+{
+    checkLowering(bench::qftEntangled(4), CouplingMap::line(4));
+}
+
+TEST(LoweringFamilies, QpeExact)
+{
+    checkLowering(bench::qpeExact(4), CouplingMap::line(4));
+}
+
+TEST(LoweringFamilies, AmplitudeEstimation)
+{
+    checkLowering(bench::amplitudeEstimation(4), CouplingMap::line(4));
+}
+
+TEST(LoweringFamilies, Qft)
+{
+    checkLowering(bench::qft(5, true), CouplingMap::line(5));
+}
+
+TEST(LoweringFamilies, BernsteinVazirani)
+{
+    checkLowering(bench::bernsteinVazirani(5, 3), CouplingMap::line(5));
+}
+
+TEST(LoweringFamilies, BigAdder)
+{
+    checkLowering(bench::bigadder(6), CouplingMap::line(6));
+}
+
+TEST(LoweringFamilies, PortfolioQaoa)
+{
+    checkLowering(bench::portfolioQaoa(4, 2), CouplingMap::line(4));
+}
+
+TEST(LoweringFamilies, Knn)
+{
+    checkLowering(bench::knn(5), CouplingMap::line(5));
+}
+
+TEST(LoweringFamilies, SwapTest)
+{
+    checkLowering(bench::swapTest(5), CouplingMap::line(5));
+}
+
+// --- fixed-size families above 6 qubits: randomized-overlap check ----------
+
+TEST(LoweringFamiliesLarge, Seca)
+{
+    checkLowering(bench::seca(11), CouplingMap::grid(3, 4),
+                  /*layout_trials=*/2);
+}
+
+TEST(LoweringFamiliesLarge, SatGrover)
+{
+    checkLowering(bench::satGrover(11), CouplingMap::grid(3, 4),
+                  /*layout_trials=*/2);
+}
+
+TEST(LoweringFamiliesLarge, Multiplier)
+{
+    checkLowering(bench::multiplier(15), CouplingMap::grid(3, 5),
+                  /*layout_trials=*/2);
+}
+
+TEST(LoweringFamiliesLarge, Qec9xz)
+{
+    checkLowering(bench::qec9xz(17), CouplingMap::grid(3, 6),
+                  /*layout_trials=*/2);
+}
+
+TEST(LoweringFamiliesLarge, Qram)
+{
+    checkLowering(bench::qram(20), CouplingMap::grid(4, 5),
+                  /*layout_trials=*/2);
+}
+
+// --- golden snapshots ------------------------------------------------------
+
+namespace {
+
+/** Deterministic routing-free lowering used for the snapshots. */
+Circuit
+lowerDirect(const Circuit &input, decomp::TranslateStats *stats,
+            Circuit *consolidated_out = nullptr)
+{
+    Circuit unrolled = mirage_pass::unrollThreeQubit(input);
+    Circuit consolidated = circuit::consolidateBlocks(unrolled);
+    if (consolidated_out)
+        *consolidated_out = consolidated;
+    decomp::EquivalenceLibrary lib(2);
+    return lib.translate(consolidated, stats);
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(MIRAGE_TEST_DATA_DIR) + "/golden/" + name + ".qasm";
+}
+
+/**
+ * Compare against the committed snapshot gate-for-gate (kinds and
+ * operands exact, parameters to 1e-9 -- robust to last-ulp libm
+ * differences across toolchains while still pinning the decomposition).
+ */
+void
+checkGolden(const std::string &name, const Circuit &input)
+{
+    decomp::TranslateStats stats;
+    Circuit consolidated;
+    Circuit lowered = lowerDirect(input, &stats, &consolidated);
+    std::string qasm = circuit::toQasm(lowered);
+
+    if (std::getenv("MIRAGE_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath(name));
+        ASSERT_TRUE(out) << "cannot write " << goldenPath(name);
+        out << qasm;
+        GTEST_SKIP() << "regenerated " << goldenPath(name);
+    }
+
+    // The polytope estimate and the translation must agree exactly on
+    // consolidated inputs: both derive each block's pulse count from
+    // the same cost model.
+    auto cost = monodromy::makeRootIswapCostModel(2);
+    auto estimated = mirage_pass::computeMetrics(consolidated, cost);
+    EXPECT_NEAR(estimated.totalPulses, stats.totalPulses, 1e-9);
+
+    std::ifstream in(goldenPath(name));
+    ASSERT_TRUE(in) << "missing snapshot " << goldenPath(name)
+                    << " (run with MIRAGE_REGEN_GOLDEN=1 to create)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Circuit expected = circuit::fromQasm(buf.str());
+    Circuit actual = circuit::fromQasm(qasm);
+
+    ASSERT_EQ(actual.numQubits(), expected.numQubits());
+    ASSERT_EQ(actual.size(), expected.size())
+        << "lowered gate count drifted from snapshot " << name;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        const auto &a = actual.gates()[i];
+        const auto &e = expected.gates()[i];
+        ASSERT_EQ(a.kind, e.kind) << "gate " << i;
+        ASSERT_EQ(a.qubits, e.qubits) << "gate " << i;
+        ASSERT_EQ(a.params.size(), e.params.size()) << "gate " << i;
+        for (size_t p = 0; p < a.params.size(); ++p)
+            ASSERT_NEAR(a.params[p], e.params[p], 1e-9)
+                << "gate " << i << " param " << p;
+    }
+}
+
+} // namespace
+
+TEST(LoweringGolden, WState4)
+{
+    checkGolden("wstate_n4_lowered", bench::wstate(4));
+}
+
+TEST(LoweringGolden, Qft4)
+{
+    checkGolden("qft_n4_lowered", bench::qft(4, true));
+}
+
+TEST(LoweringGolden, BernsteinVazirani4)
+{
+    checkGolden("bv_n4_lowered", bench::bernsteinVazirani(4, 2));
+}
