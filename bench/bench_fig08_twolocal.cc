@@ -4,47 +4,22 @@
  * 4-qubit line. Qiskit-level-3-style routing needs 16 sqrt(iSWAP) pulses
  * with 3 SWAPs; MIRAGE absorbs the SWAPs into mirrors and lands at 10
  * pulses with none.
+ *
+ * Thin wrapper over the shared experiment registry (src/cli): the same
+ * sweep runs via `mirage sweep --experiment fig8`, which additionally
+ * emits the machine-readable JSON artifact.
  */
 
 #include <cstdio>
 
-#include "bench_circuits/generators.hh"
-#include "bench_util.hh"
-
-using namespace mirage;
-using namespace mirage::benchutil;
+#include "cli/experiments.hh"
 
 int
 main()
 {
-    auto circ = bench::twoLocalFull(4, 1, 7);
-    auto line = topology::CouplingMap::line(4);
-
-    auto base_opts = benchOptions(mirage_pass::Flow::SabreBaseline, 1);
-    base_opts.layoutTrials = 8;
-    auto mir_opts = benchOptions(mirage_pass::Flow::MirageDepth, 1);
-    mir_opts.layoutTrials = 8;
-
-    auto base = mirage_pass::transpile(circ, line, base_opts);
-    auto mir = mirage_pass::transpile(circ, line, mir_opts);
-
-    std::printf("== Figure 8: TwoLocal(full, 4q) on a 4-qubit line ==\n");
-    std::printf("%-18s %14s %8s %10s %12s\n", "flow", "pulses(sqiSW)",
-                "swaps", "mirrors", "depth(iSWAP)");
-    std::printf("%-18s %14.1f %8d %10d %12.2f\n", "Qiskit-baseline",
-                base.metrics.depthPulses, base.metrics.swapGates,
-                base.mirrorsAccepted, base.metrics.depth);
-    std::printf("%-18s %14.1f %8d %10d %12.2f\n", "MIRAGE",
-                mir.metrics.depthPulses, mir.metrics.swapGates,
-                mir.mirrorsAccepted, mir.metrics.depth);
-    std::printf("\npaper: 16 pulses / 3 SWAPs vs 10 pulses / 0 SWAPs.\n");
-
-    std::printf("\nMIRAGE output gates:\n");
-    for (const auto &g : mir.routed.gates()) {
-        if (!g.isTwoQubit())
-            continue;
-        std::printf("  %-5s (%d,%d)%s\n", g.name().c_str(), g.qubits[0],
-                    g.qubits[1], g.mirrored ? "  [mirror]" : "");
-    }
+    using namespace mirage::cli;
+    auto artifact =
+        runExperiment(*findExperiment("fig8"), knobsFromEnv());
+    std::fputs(renderMarkdown(artifact).c_str(), stdout);
     return 0;
 }

@@ -3,42 +3,23 @@
  * Figure 10 reproduction: fixed aggression levels vs the Qiskit baseline
  * on wstate_n27, bigadder_n18, qft_n18, bv_n30. No single aggression
  * wins everywhere, motivating the 5/45/45/5 mixed distribution.
+ *
+ * Thin wrapper over the shared experiment registry (src/cli): the same
+ * sweep runs via `mirage sweep --experiment fig10`, which additionally
+ * emits the machine-readable JSON artifact. MIRAGE_BENCH_* env knobs
+ * keep working (see cli::knobsFromEnv).
  */
 
 #include <cstdio>
 
-#include "bench_util.hh"
-
-using namespace mirage;
-using namespace mirage::benchutil;
+#include "cli/experiments.hh"
 
 int
 main()
 {
-    auto grid = topology::CouplingMap::grid(6, 6);
-    const char *names[4] = {"wstate_n27", "bigadder_n18", "qft_n18",
-                            "bv_n30"};
-
-    std::printf("== Figure 10: aggression sweep (average depth, iSWAP "
-                "units, 6x6 grid) ==\n");
-    std::printf("%-16s %8s %8s %8s %8s %8s %8s\n", "circuit", "qiskit",
-                "a0", "a1", "a2", "a3", "mix");
-    for (const char *name : names) {
-        double qiskit =
-            runSweep(name, grid, mirage_pass::Flow::SabreBaseline).depth;
-        std::printf("%-16s %8.1f", name, qiskit);
-        for (int a = 0; a <= 3; ++a) {
-            double depth =
-                runSweep(name, grid, mirage_pass::Flow::MirageDepth, a)
-                    .depth;
-            std::printf(" %8.1f", depth);
-        }
-        double mixed =
-            runSweep(name, grid, mirage_pass::Flow::MirageDepth).depth;
-        std::printf(" %8.1f\n", mixed);
-    }
-    std::printf("\npaper: no single aggression level is universally "
-                "optimal (Fig. 10);\nthe mixed 5/45/45/5 distribution is "
-                "competitive everywhere.\n");
+    using namespace mirage::cli;
+    auto artifact =
+        runExperiment(*findExperiment("fig10"), knobsFromEnv());
+    std::fputs(renderMarkdown(artifact).c_str(), stdout);
     return 0;
 }

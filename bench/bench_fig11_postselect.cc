@@ -5,57 +5,23 @@
  * MIRAGE post-selected on SWAPs, (c) MIRAGE post-selected on estimated
  * depth. The paper reports -24.1% average depth for (b) and a further
  * -7.5% for (c), totalling -29.5%, with total gates mostly unchanged.
+ *
+ * Thin wrapper over the shared experiment registry (src/cli): the same
+ * sweep runs via `mirage sweep --experiment fig11`, which additionally
+ * emits the machine-readable JSON artifact. MIRAGE_BENCH_* env knobs
+ * keep working (see cli::knobsFromEnv).
  */
 
 #include <cstdio>
 
-#include "bench_util.hh"
-
-using namespace mirage;
-using namespace mirage::benchutil;
+#include "cli/experiments.hh"
 
 int
 main()
 {
-    auto grid = topology::CouplingMap::grid(6, 6);
-    const char *names[] = {
-        "qec9xz_n17",   "seca_n11",         "swap_test_n25",
-        "knn_n25",      "qram_n20",         "qft_n18",
-        "qftentangled_n16", "ae_n16",       "bigadder_n18",
-        "qpeexact_n16", "multiplier_n15",   "portfolioqaoa_n16",
-        "sat_n11",
-    };
-
-    std::printf("== Figure 11: post-selection metric (average depth, "
-                "iSWAP units, 6x6 grid) ==\n");
-    std::printf("%-20s %10s %14s %14s %10s %10s\n", "circuit", "qiskit",
-                "mirage-swaps", "mirage-depth", "dS(%)", "dD(%)");
-
-    double sum_swap_red = 0, sum_depth_red = 0, sum_gate_ratio = 0;
-    int count = 0;
-    for (const char *name : names) {
-        auto qiskit =
-            runSweep(name, grid, mirage_pass::Flow::SabreBaseline);
-        auto mswaps =
-            runSweep(name, grid, mirage_pass::Flow::MirageSwaps);
-        auto mdepth =
-            runSweep(name, grid, mirage_pass::Flow::MirageDepth);
-        double ds = pct(qiskit.depth, mswaps.depth);
-        double dd = pct(qiskit.depth, mdepth.depth);
-        std::printf("%-20s %10.1f %14.1f %14.1f %9.1f%% %9.1f%%\n", name,
-                    qiskit.depth, mswaps.depth, mdepth.depth, ds, dd);
-        sum_swap_red += ds;
-        sum_depth_red += dd;
-        sum_gate_ratio += pct(qiskit.totalPulses, mdepth.totalPulses);
-        ++count;
-    }
-    std::printf("\naverage depth reduction: mirage-swaps %.1f%%, "
-                "mirage-depth %.1f%% (extra %.1f%%)\n",
-                sum_swap_red / count, sum_depth_red / count,
-                (sum_depth_red - sum_swap_red) / count);
-    std::printf("average total-pulse change under mirage-depth: %.1f%%\n",
-                sum_gate_ratio / count);
-    std::printf("paper: -24.1%% (swaps) -> -29.5%% (depth), gates "
-                "~unchanged.\n");
+    using namespace mirage::cli;
+    auto artifact =
+        runExperiment(*findExperiment("fig11"), knobsFromEnv());
+    std::fputs(renderMarkdown(artifact).c_str(), stdout);
     return 0;
 }

@@ -8,79 +8,23 @@
  * Paper headline numbers: heavy-hex -31.19% depth / -16.97% gates /
  * -56.19% SWAPs; square lattice -29.58% depth / -10.25% gates /
  * -59.86% SWAPs.
+ *
+ * Thin wrapper over the shared experiment registry (src/cli): the same
+ * sweep runs via `mirage sweep --experiment fig12`, which additionally
+ * emits the machine-readable JSON artifact. MIRAGE_BENCH_* env knobs
+ * keep working (see cli::knobsFromEnv).
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "bench_util.hh"
-
-using namespace mirage;
-using namespace mirage::benchutil;
-
-namespace {
-
-void
-runTopology(const topology::CouplingMap &topo)
-{
-    const char *names[] = {
-        "qec9xz_n17",   "seca_n11",         "knn_n25",
-        "swap_test_n25", "qram_n20",        "qft_n18",
-        "qftentangled_n16", "ae_n16",       "bigadder_n18",
-        "qpeexact_n16", "multiplier_n15",   "portfolioqaoa_n16",
-        "sat_n11",
-    };
-
-    std::printf("---- topology %s ----\n", topo.name().c_str());
-    std::printf("%-20s %9s %9s %7s | %9s %9s %7s | %7s %7s %8s\n",
-                "circuit", "Q.depth", "M.depth", "d%", "Q.pulse",
-                "M.pulse", "g%", "Q.swap", "M.swap", "mirror%");
-
-    double sum_d = 0, sum_g = 0, sum_s = 0;
-    double wsum_d = 0, wsum_g = 0, wsum_s = 0;
-    double wtot_d = 0, wtot_g = 0, wtot_s = 0;
-    int count = 0;
-    for (const char *name : names) {
-        auto q = runSweep(name, topo, mirage_pass::Flow::SabreBaseline);
-        auto m = runSweep(name, topo, mirage_pass::Flow::MirageDepth);
-        double dp = pct(q.depth, m.depth);
-        double gp = pct(q.totalPulses, m.totalPulses);
-        double sp = pct(q.swaps, m.swaps);
-        std::printf("%-20s %9.1f %9.1f %6.1f%% | %9.0f %9.0f %6.1f%% | "
-                    "%7.1f %7.1f %7.1f%%\n",
-                    name, q.depth, m.depth, dp, q.totalPulses,
-                    m.totalPulses, gp, q.swaps, m.swaps,
-                    100.0 * m.mirrorRate);
-        sum_d += dp;
-        sum_g += gp;
-        sum_s += sp;
-        wsum_d += dp * q.depth;
-        wtot_d += q.depth;
-        wsum_g += gp * q.totalPulses;
-        wtot_g += q.totalPulses;
-        wsum_s += sp * q.swaps;
-        wtot_s += q.swaps;
-        ++count;
-    }
-    std::printf("average reductions: depth %.2f%%, total pulses %.2f%%, "
-                "swaps %.2f%%\n",
-                sum_d / count, sum_g / count, sum_s / count);
-    std::printf("weighted reductions: depth %.2f%%, total pulses %.2f%%, "
-                "swaps %.2f%%\n\n",
-                wsum_d / wtot_d, wsum_g / wtot_g, wsum_s / wtot_s);
-}
-
-} // namespace
+#include "cli/experiments.hh"
 
 int
 main()
 {
-    std::printf("== Figure 12: MIRAGE vs Qiskit-SABRE on production "
-                "topologies ==\n\n");
-    runTopology(topology::CouplingMap::heavyHex57());
-    runTopology(topology::CouplingMap::grid(6, 6));
-    std::printf("paper: heavy-hex -31.19%% depth, -16.97%% gates, "
-                "-56.19%% swaps;\n       square  -29.58%% depth, "
-                "-10.25%% gates, -59.86%% swaps.\n");
+    using namespace mirage::cli;
+    auto artifact =
+        runExperiment(*findExperiment("fig12"), knobsFromEnv());
+    std::fputs(renderMarkdown(artifact).c_str(), stdout);
     return 0;
 }

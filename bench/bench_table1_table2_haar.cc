@@ -5,69 +5,26 @@
  * integration, Table I) and with approximate decomposition accepted when
  * it improves total fidelity (Algorithm 1 Monte Carlo, Table II).
  *
+ * Thin wrapper over the shared experiment registry (src/cli): the same
+ * sweeps run via `mirage sweep --experiment table1|table2`, which
+ * additionally emit the machine-readable JSON artifacts.
  * MIRAGE_BENCH_MC_ITERS overrides the Monte Carlo iteration count
  * (default 300; the paper uses 1000).
  */
 
 #include <cstdio>
-#include <cstdlib>
 
-#include "monodromy/scores.hh"
-
-using namespace mirage;
-using namespace mirage::monodromy;
-
-namespace {
-
-int
-mcIterations()
-{
-    const char *v = std::getenv("MIRAGE_BENCH_MC_ITERS");
-    return v ? std::atoi(v) : 300;
-}
-
-} // namespace
+#include "cli/experiments.hh"
 
 int
 main()
 {
-    std::printf("== Table I: exact decomposition (polytope integration) "
-                "==\n");
-    std::printf("%-12s %10s %10s %12s %14s\n", "basis", "haar", "fidelity",
-                "mirror haar", "mirror fid");
-    for (int n : {2, 3, 4}) {
-        const CoverageSet &cs = coverageForRootIswap(n);
-        HaarScore plain = haarScoreExact(cs, false);
-        HaarScore mirror = haarScoreExact(cs, true);
-        std::printf("%d-rt iSWAP %11.4f %10.4f %12.4f %14.4f\n", n,
-                    plain.score, plain.fidelity, mirror.score,
-                    mirror.fidelity);
+    using namespace mirage::cli;
+    auto knobs = knobsFromEnv();
+    for (const char *name : {"table1", "table2"}) {
+        auto artifact = runExperiment(*findExperiment(name), knobs);
+        std::fputs(renderMarkdown(artifact).c_str(), stdout);
+        std::fputs("\n", stdout);
     }
-    std::printf("paper Table I: 1.105/0.9890 1.029/0.9897 | "
-                "0.9907/0.9901 0.9545/0.9904 | 0.9599/0.9904 "
-                "0.8997/0.9910\n\n");
-
-    const int iters = mcIterations();
-    std::printf("== Table II: approximate decomposition (Algorithm 1, "
-                "%d MC iterations) ==\n", iters);
-    std::printf("%-12s %10s %10s %12s %14s\n", "basis", "haar", "fidelity",
-                "mirror haar", "mirror fid");
-    for (int n : {2, 3, 4}) {
-        const CoverageSet &cs = coverageForRootIswap(n);
-        MonteCarloOptions opts;
-        opts.iterations = iters;
-        opts.approximate = true;
-        opts.mirrors = false;
-        HaarScore plain = haarScoreMonteCarlo(cs, opts);
-        opts.mirrors = true;
-        opts.seed ^= 0x77;
-        HaarScore mirror = haarScoreMonteCarlo(cs, opts);
-        std::printf("%d-rt iSWAP %11.4f %10.4f %12.4f %14.4f\n", n,
-                    plain.score, plain.fidelity, mirror.score,
-                    mirror.fidelity);
-    }
-    std::printf("paper Table II: 1.031/0.9895 0.9950/0.9899 | "
-                "0.9433/0.9904 0.8900/0.9908 | 0.9165/0.9906 "
-                "0.8453/0.9913\n");
     return 0;
 }

@@ -1,192 +1,35 @@
 /**
  * @file
- * Table III reproduction: the benchmark suite inventory. Prints each
- * circuit's qubit count and two-qubit gate counts (native and
- * CX-decomposed) next to the count the paper reports, then times the
- * whole suite through the MIRAGE pipeline twice -- a serial loop
- * (threads=1) versus transpileMany on all hardware threads -- and
- * reports the speedup. The two runs produce bit-identical circuits
- * (counter-based RNG streams), so the speedup is free.
+ * Table III reproduction: the benchmark suite inventory with MEASURED
+ * sqrt(iSWAP) pulse counts -- every circuit routed through the MIRAGE
+ * pipeline and lowered over one shared equivalence library, the
+ * measured pulse count printed next to the polytope estimate.
  *
- * With MIRAGE_BENCH_LOWER=1 (default) the suite then runs the
- * lowerToBasis stage over one shared equivalence library and reports
- * MEASURED sqrt(iSWAP) pulse counts next to the polytope estimates --
- * Table III with measurements instead of projections -- plus the
- * cold-vs-warm library split (first pass fits, second pass is pure
- * cache hits).
- *
- * Env knobs: MIRAGE_BENCH_TRIALS / MIRAGE_BENCH_SWAP_TRIALS (trial grid,
- * defaults 8/2 here), MIRAGE_BENCH_TIMING=0 to skip the timing pass,
- * MIRAGE_BENCH_LOWER=0 to skip the lowering pass.
+ * Thin wrapper over the shared experiment registry (src/cli): the same
+ * sweep runs via `mirage sweep --experiment table3`, which additionally
+ * emits the machine-readable JSON artifact. With MIRAGE_BENCH_TIMING=1
+ * (default) the suite timing experiment (`fig13`: serial-vs-parallel
+ * transpile, cold-vs-warm lowering) runs afterwards. MIRAGE_BENCH_*
+ * env knobs keep working (see cli::knobsFromEnv).
  */
 
-#include <chrono>
 #include <cstdio>
-#include <vector>
 
-#include "bench_circuits/generators.hh"
-#include "bench_util.hh"
-#include "common/exec.hh"
-#include "decomp/equivalence.hh"
-#include "mirage/pipeline.hh"
-#include "topology/coupling.hh"
-
-using namespace mirage;
-
-namespace {
-
-double
-millisSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
-
-/** Bit-exact transpile-result comparison (gates, layouts, metrics). */
-bool
-identicalResults(const mirage_pass::TranspileResult &a,
-                 const mirage_pass::TranspileResult &b)
-{
-    return circuit::Circuit::bitIdentical(a.routed, b.routed) &&
-           a.initial == b.initial && a.final == b.final &&
-           a.metrics.depth == b.metrics.depth &&
-           a.metrics.totalCost == b.metrics.totalCost;
-}
-
-void
-timeSuite()
-{
-    // Every Table III circuit fits an 8x8 grid (max 18 qubits).
-    const auto grid = topology::CouplingMap::grid(8, 8);
-
-    std::vector<circuit::Circuit> circuits;
-    for (const auto &b : bench::paperBenchmarks())
-        circuits.push_back(b.make());
-
-    mirage_pass::TranspileOptions opts;
-    opts.flow = mirage_pass::Flow::MirageDepth;
-    opts.layoutTrials = benchutil::envInt("MIRAGE_BENCH_TRIALS", 8);
-    opts.swapTrials = benchutil::envInt("MIRAGE_BENCH_SWAP_TRIALS", 2);
-    opts.tryVf2 = false;
-    opts.seed = 0xB3;
-
-    // Warm the process-wide coverage/coordinate caches outside the
-    // timed region (both runs then see the same warm state).
-    mirage_pass::transpile(circuits.front(), grid, opts);
-
-    opts.threads = 1;
-    auto t0 = std::chrono::steady_clock::now();
-    auto serial = mirage_pass::transpileMany(circuits, grid, opts);
-    double serial_ms = millisSince(t0);
-
-    opts.threads = 0; // all hardware threads
-    t0 = std::chrono::steady_clock::now();
-    auto parallel = mirage_pass::transpileMany(circuits, grid, opts);
-    double parallel_ms = millisSince(t0);
-
-    bool identical = serial.size() == parallel.size();
-    for (size_t i = 0; identical && i < serial.size(); ++i)
-        identical = identicalResults(serial[i], parallel[i]);
-
-    std::printf("\n== Suite transpile timing (%d layout x %d swap trials, "
-                "%zu circuits) ==\n",
-                opts.layoutTrials, opts.swapTrials, circuits.size());
-    std::printf("serial   (threads=1): %9.1f ms\n", serial_ms);
-    std::printf("parallel (threads=%d): %9.1f ms\n",
-                exec::defaultThreads(), parallel_ms);
-    std::printf("speedup: %.2fx; outputs bit-identical: %s\n",
-                parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
-                identical ? "yes" : "NO (BUG)");
-}
-
-void
-lowerSuite()
-{
-    // Table III with MEASURED pulse counts: lower every routed circuit
-    // over ONE shared equivalence library (the serving shape). The
-    // second pass over the warm library is pure cache hits -- the gap
-    // is the Fig. 13-style caching win for the lowering stage.
-    const auto grid = topology::CouplingMap::grid(8, 8);
-
-    std::vector<circuit::Circuit> circuits;
-    for (const auto &b : bench::paperBenchmarks())
-        circuits.push_back(b.make());
-
-    mirage_pass::TranspileOptions opts;
-    opts.flow = mirage_pass::Flow::MirageDepth;
-    opts.layoutTrials = benchutil::envInt("MIRAGE_BENCH_TRIALS", 8);
-    opts.swapTrials = benchutil::envInt("MIRAGE_BENCH_SWAP_TRIALS", 2);
-    opts.tryVf2 = false;
-    opts.seed = 0xB3;
-    opts.lowerToBasis = true;
-
-    decomp::EquivalenceLibrary lib(2);
-    opts.equivalenceLibrary = &lib;
-
-    auto t0 = std::chrono::steady_clock::now();
-    auto cold = mirage_pass::transpileMany(circuits, grid, opts);
-    double cold_ms = millisSince(t0);
-
-    std::printf("\n== Table III with measured sqrt(iSWAP) pulse counts "
-                "==\n");
-    std::printf("%-20s %10s %10s %10s %8s %10s\n", "name", "est.pulse",
-                "meas.pulse", "meas.depth", "fits", "worst-inf");
-    for (size_t i = 0; i < cold.size(); ++i) {
-        const auto &r = cold[i];
-        std::printf("%-20s %10.0f %10.0f %10.0f %8d %10.1e\n",
-                    bench::paperBenchmarks()[i].name.c_str(),
-                    r.metrics.totalPulses, r.loweredMetrics.totalPulses,
-                    r.loweredMetrics.depthPulses,
-                    r.translateStats.newFits,
-                    r.translateStats.worstInfidelity);
-    }
-
-    // Warm pass: same circuits, same shared library -- zero new fits.
-    t0 = std::chrono::steady_clock::now();
-    auto warm = mirage_pass::transpileMany(circuits, grid, opts);
-    double warm_ms = millisSince(t0);
-    int warm_fits = 0;
-    bool identical = true;
-    for (size_t i = 0; i < warm.size(); ++i) {
-        warm_fits += warm[i].translateStats.newFits;
-        identical = identical &&
-                    circuit::Circuit::bitIdentical(cold[i].lowered,
-                                                   warm[i].lowered);
-    }
-    std::printf("\ncold suite (fits included): %9.1f ms  (%llu fits, "
-                "%zu cached decompositions)\n",
-                cold_ms, (unsigned long long)lib.fitCount(),
-                lib.cacheSize());
-    std::printf("warm suite (cache hits):    %9.1f ms  (%d new fits; "
-                "outputs bit-identical: %s)\n",
-                warm_ms, warm_fits, identical ? "yes" : "NO (BUG)");
-}
-
-} // namespace
+#include "cli/experiments.hh"
 
 int
 main()
 {
-    std::printf("== Table III: selected circuit benchmarks ==\n");
-    std::printf("%-20s %6s %10s %8s %10s  %s\n", "name", "qubits",
-                "paper 2Q", "raw 2Q", "cx-equiv", "class");
-    for (const auto &b : bench::paperBenchmarks()) {
-        auto circ = b.make();
-        std::printf("%-20s %6d %10d %8d %10d  %s\n", b.name.c_str(),
-                    b.qubits, b.paperTwoQ, circ.twoQubitGateCount(),
-                    bench::cxEquivalentCount(circ), b.klass.c_str());
-        if (circ.numQubits() != b.qubits)
-            std::printf("  !! qubit count mismatch: %d\n",
-                        circ.numQubits());
-    }
-    std::printf("\n(The paper counts QASMBench entries natively and\n"
-                "MQTBench entries after CX decomposition; both conventions\n"
-                "are printed for comparison.)\n");
+    using namespace mirage::cli;
+    auto knobs = knobsFromEnv();
 
-    if (benchutil::envInt("MIRAGE_BENCH_TIMING", 1))
-        timeSuite();
-    if (benchutil::envInt("MIRAGE_BENCH_LOWER", 1))
-        lowerSuite();
+    auto table3 = runExperiment(*findExperiment("table3"), knobs);
+    std::fputs(renderMarkdown(table3).c_str(), stdout);
+
+    if (envInt("MIRAGE_BENCH_TIMING", 1)) {
+        auto fig13 = runExperiment(*findExperiment("fig13"), knobs);
+        std::fputs("\n", stdout);
+        std::fputs(renderMarkdown(fig13).c_str(), stdout);
+    }
     return 0;
 }

@@ -2,24 +2,52 @@
  * @file
  * OpenQASM 2.0 exporter and importer: direct emission for standard
  * gates, ZYZ / KAK-parameter lowering for consolidated unitary blocks,
- * and a recursive-descent parser for the emitted dialect.
+ * and a recursive-descent parser for the emitted dialect that reports
+ * 1-based line/column positions via QasmError.
  */
 
 #include "circuit/qasm.hh"
 
 #include <cctype>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <vector>
 
-#include "common/logging.hh"
 #include "weyl/catalog.hh"
 #include "weyl/kak.hh"
 
 namespace mirage::circuit {
 
+QasmError::QasmError(int line, int column, const std::string &message)
+    : std::runtime_error(std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line), column_(column), message_(message)
+{
+}
+
 namespace {
+
+/** The shared printf-style formatter behind every parse diagnostic. */
+std::string
+vformat(const char *fmt, va_list args)
+{
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    return buf;
+}
+
+/** Format printf-style and throw a positioned QasmError. */
+[[noreturn]] void
+raiseAt(int line, int column, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    throw QasmError(line, column, msg);
+}
 
 std::string
 fmt(double x)
@@ -179,8 +207,10 @@ class Parser
                 while (pos_ < s_.size() && s_[pos_] != '\n')
                     ++pos_;
             } else if (std::isspace(static_cast<unsigned char>(c))) {
-                if (c == '\n')
+                if (c == '\n') {
                     ++line_;
+                    lineStart_ = pos_ + 1;
+                }
                 ++pos_;
             } else {
                 break;
@@ -208,21 +238,22 @@ class Parser
     expect(char c)
     {
         if (!consume(c))
-            fatal("qasm parse error at line %d: expected '%c'", line_, c);
+            fail("expected '%c'", c);
     }
 
-    /** [A-Za-z_][A-Za-z0-9_]* */
+    /** [A-Za-z_][A-Za-z0-9_]* (token start recorded for failAtToken). */
     std::string
     identifier()
     {
         skipSpace();
+        markToken();
         size_t start = pos_;
         while (pos_ < s_.size() &&
                (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
                 s_[pos_] == '_'))
             ++pos_;
         if (pos_ == start)
-            fatal("qasm parse error at line %d: expected identifier", line_);
+            fail("expected identifier");
         return s_.substr(start, pos_ - start);
     }
 
@@ -230,17 +261,17 @@ class Parser
     integer()
     {
         skipSpace();
+        markToken();
         size_t start = pos_;
         while (pos_ < s_.size() &&
                std::isdigit(static_cast<unsigned char>(s_[pos_])))
             ++pos_;
         if (pos_ == start)
-            fatal("qasm parse error at line %d: expected integer", line_);
+            fail("expected integer");
         try {
             return std::stoi(s_.substr(start, pos_ - start));
         } catch (const std::exception &) {
-            fatal("qasm parse error at line %d: integer out of range",
-                  line_);
+            failAtToken("integer out of range");
         }
     }
 
@@ -271,8 +302,42 @@ class Parser
     }
 
     int line() const { return line_; }
+    /** 1-based column of the current parse position. */
+    int column() const { return int(pos_ - lineStart_) + 1; }
+    /** Position of the most recently started identifier/integer token. */
+    int tokenLine() const { return tokLine_; }
+    int tokenColumn() const { return tokCol_; }
+
+    /** Throw a QasmError at the current parse position (printf-style). */
+    [[noreturn]] void
+    fail(const char *fmt, ...)
+    {
+        va_list args;
+        va_start(args, fmt);
+        std::string msg = vformat(fmt, args);
+        va_end(args);
+        throw QasmError(line_, column(), msg);
+    }
+
+    /** Throw at the start of the last identifier/integer token. */
+    [[noreturn]] void
+    failAtToken(const char *fmt, ...)
+    {
+        va_list args;
+        va_start(args, fmt);
+        std::string msg = vformat(fmt, args);
+        va_end(args);
+        throw QasmError(tokLine_, tokCol_, msg);
+    }
 
   private:
+    /** Record the current position as a token start. */
+    void
+    markToken()
+    {
+        tokLine_ = line_;
+        tokCol_ = column();
+    }
     double
     term()
     {
@@ -305,8 +370,7 @@ class Parser
             std::string name = identifier();
             if (name == "pi")
                 return linalg::kPi;
-            fatal("qasm parse error at line %d: unknown constant '%s'",
-                  line_, name.c_str());
+            failAtToken("unknown constant '%s'", name.c_str());
         }
         // In-place parse (no tail copy; strtod stops at the first
         // non-numeric character). s_ is a std::string, so c_str() is
@@ -315,14 +379,17 @@ class Parser
         char *end = nullptr;
         double v = std::strtod(begin, &end);
         if (end == begin)
-            fatal("qasm parse error at line %d: expected number", line_);
+            fail("expected number");
         pos_ += size_t(end - begin);
         return v;
     }
 
     const std::string &s_;
     size_t pos_ = 0;
+    size_t lineStart_ = 0;
     int line_ = 1;
+    int tokLine_ = 1;
+    int tokCol_ = 1;
 };
 
 } // namespace
@@ -336,8 +403,8 @@ fromQasm(const std::string &text)
     {
         std::string kw = p.identifier();
         if (kw != "OPENQASM")
-            fatal("qasm parse error: expected OPENQASM header, got '%s'",
-                  kw.c_str());
+            p.failAtToken("expected OPENQASM header, got '%s'",
+                          kw.c_str());
         p.expression(); // version number (e.g. 2.0)
         p.expect(';');
     }
@@ -360,19 +427,21 @@ fromQasm(const std::string &text)
             if (r.name == reg)
                 return r;
         }
-        fatal("qasm parse error: unknown register '%s'", reg.c_str());
+        p.failAtToken("unknown register '%s'", reg.c_str());
     };
 
     auto wireOf = [&](const std::string &reg, int idx) {
         const QReg &r = findReg(reg);
         if (idx < 0 || idx >= r.size)
-            fatal("qasm parse error: index %d out of range for %s[%d]",
-                  idx, reg.c_str(), r.size);
+            p.failAtToken("index %d out of range for %s[%d]", idx,
+                          reg.c_str(), r.size);
         return r.base + idx;
     };
 
     while (!p.atEnd()) {
         std::string word = p.identifier();
+        const int word_line = p.tokenLine();
+        const int word_col = p.tokenColumn();
 
         if (word == "include") {
             p.skipStringLiteral();
@@ -429,8 +498,8 @@ fromQasm(const std::string &text)
 
         auto it = gateTable().find(word);
         if (it == gateTable().end())
-            fatal("qasm parse error at line %d: unsupported statement '%s'",
-                  p.line(), word.c_str());
+            raiseAt(word_line, word_col, "unsupported statement '%s'",
+                    word.c_str());
         const GateSpec &spec = it->second;
 
         std::vector<double> params;
@@ -441,9 +510,8 @@ fromQasm(const std::string &text)
             p.expect(')');
         }
         if (int(params.size()) != spec.params)
-            fatal("qasm parse error at line %d: %s expects %d params, got "
-                  "%d", p.line(), word.c_str(), spec.params,
-                  int(params.size()));
+            raiseAt(word_line, word_col, "%s expects %d params, got %d",
+                    word.c_str(), spec.params, int(params.size()));
 
         std::vector<int> qubits;
         do {
@@ -455,9 +523,8 @@ fromQasm(const std::string &text)
         } while (p.consume(','));
         p.expect(';');
         if (int(qubits.size()) != spec.operands)
-            fatal("qasm parse error at line %d: %s expects %d operands, got "
-                  "%d", p.line(), word.c_str(), spec.operands,
-                  int(qubits.size()));
+            raiseAt(word_line, word_col, "%s expects %d operands, got %d",
+                    word.c_str(), spec.operands, int(qubits.size()));
 
         Gate g;
         g.kind = spec.kind;

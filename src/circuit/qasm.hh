@@ -11,21 +11,45 @@
  * declarations, barriers, and constant parameter expressions over
  * numbers and pi with + - * / and parentheses. Classical registers and
  * measurements are skipped; gate definitions are not supported.
+ * Malformed input raises QasmError with a 1-based line/column position,
+ * so callers (the `mirage` CLI in particular) can print actionable
+ * "file:line:col: message" diagnostics instead of dying.
  */
 
 #ifndef MIRAGE_CIRCUIT_QASM_HH
 #define MIRAGE_CIRCUIT_QASM_HH
 
+#include <stdexcept>
 #include <string>
 
 #include "circuit/circuit.hh"
 
 namespace mirage::circuit {
 
+/**
+ * Parse failure raised by fromQasm. what() reads "<line>:<col>:
+ * <message>"; line/column are 1-based and point at the offending token.
+ */
+class QasmError : public std::runtime_error
+{
+  public:
+    QasmError(int line, int column, const std::string &message);
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+    /** The message without the position prefix. */
+    const std::string &message() const { return message_; }
+
+  private:
+    int line_;
+    int column_;
+    std::string message_;
+};
+
 /** Serialize a circuit as OpenQASM 2.0. */
 std::string toQasm(const Circuit &circuit);
 
-/** Parse OpenQASM 2.0 text (the exporter's dialect); fatal on errors. */
+/** Parse OpenQASM 2.0 text (the exporter's dialect); throws QasmError. */
 Circuit fromQasm(const std::string &text);
 
 } // namespace mirage::circuit

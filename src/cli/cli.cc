@@ -1,0 +1,556 @@
+/**
+ * @file
+ * `mirage` subcommand implementations: transpile (QASM in, JSON/QASM
+ * out), sweep (experiment registry -> versioned artifacts), report
+ * (artifacts -> markdown). All user-facing failures are reported as
+ * "mirage: ..." messages on the error stream with scripting-grade exit
+ * codes; nothing in this layer calls exit() or aborts.
+ */
+
+#include "cli/cli.hh"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "cli/args.hh"
+#include "cli/experiments.hh"
+#include "circuit/qasm.hh"
+#include "common/json.hh"
+#include "decomp/equivalence.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
+
+namespace mirage::cli {
+
+namespace {
+
+/** Runtime (non-usage) failure: maps to exit code 1. */
+class CliError : public std::runtime_error
+{
+  public:
+    explicit CliError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+const char *const kTopologyForms =
+    "grid<R>x<C>, line<N>, ring<N>, heavyhex57, alltoall<N>, or auto";
+
+/** Parse "grid3x3" / "line4" / ... ; `min_qubits` sizes "auto". */
+topology::CouplingMap
+parseTopology(const std::string &spec, int min_qubits)
+{
+    auto intSuffix = [&spec](size_t prefix_len, int *value) {
+        const std::string tail = spec.substr(prefix_len);
+        if (tail.empty() ||
+            tail.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        *value = std::atoi(tail.c_str());
+        return *value > 0;
+    };
+
+    if (spec == "auto") {
+        int side = 1;
+        while (side * side < min_qubits)
+            ++side;
+        return topology::CouplingMap::grid(side, side);
+    }
+    if (spec == "heavyhex57")
+        return topology::CouplingMap::heavyHex57();
+    if (spec.rfind("grid", 0) == 0) {
+        size_t x = spec.find('x', 4);
+        if (x != std::string::npos) {
+            const std::string rows = spec.substr(4, x - 4);
+            const std::string cols = spec.substr(x + 1);
+            if (!rows.empty() && !cols.empty() &&
+                rows.find_first_not_of("0123456789") == std::string::npos &&
+                cols.find_first_not_of("0123456789") == std::string::npos) {
+                int r = std::atoi(rows.c_str());
+                int c = std::atoi(cols.c_str());
+                if (r > 0 && c > 0)
+                    return topology::CouplingMap::grid(r, c);
+            }
+        }
+    }
+    int n = 0;
+    if (spec.rfind("line", 0) == 0 && intSuffix(4, &n))
+        return topology::CouplingMap::line(n);
+    if (spec.rfind("ring", 0) == 0 && intSuffix(4, &n))
+        return topology::CouplingMap::ring(n);
+    if (spec.rfind("alltoall", 0) == 0 && intSuffix(8, &n))
+        return topology::CouplingMap::allToAll(n);
+    throw UsageError("unknown topology '" + spec + "' (expected " +
+                     kTopologyForms + ")");
+}
+
+mirage_pass::Flow
+parseFlow(const std::string &name)
+{
+    if (name == "sabre")
+        return mirage_pass::Flow::SabreBaseline;
+    if (name == "mirage-swaps")
+        return mirage_pass::Flow::MirageSwaps;
+    if (name == "mirage" || name == "mirage-depth")
+        return mirage_pass::Flow::MirageDepth;
+    throw UsageError("unknown flow '" + name +
+                     "' (expected sabre, mirage-swaps, or mirage)");
+}
+
+const char *
+flowName(mirage_pass::Flow flow)
+{
+    switch (flow) {
+      case mirage_pass::Flow::SabreBaseline: return "sabre";
+      case mirage_pass::Flow::MirageSwaps: return "mirage-swaps";
+      case mirage_pass::Flow::MirageDepth: return "mirage";
+    }
+    return "?";
+}
+
+std::string
+readInput(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        return buf.str();
+    }
+    std::ifstream in(path);
+    if (!in)
+        throw CliError("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeOutput(const std::string &path, const std::string &content,
+            std::ostream &out)
+{
+    if (path.empty() || path == "-") {
+        out << content;
+        return;
+    }
+    std::ofstream f(path);
+    if (!f)
+        throw CliError("cannot write '" + path + "'");
+    f << content;
+}
+
+// --- transpile --------------------------------------------------------------
+
+json::Value
+metricsJson(const mirage_pass::CircuitMetrics &m)
+{
+    json::Value v = json::Value::object();
+    v.set("depth", m.depth);
+    v.set("totalCost", m.totalCost);
+    v.set("depthPulses", m.depthPulses);
+    v.set("totalPulses", m.totalPulses);
+    v.set("swapGates", m.swapGates);
+    v.set("twoQubitGates", m.twoQubitGates);
+    return v;
+}
+
+int
+cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err)
+{
+    ArgumentParser parser("transpile", "<input.qasm | ->");
+    parser.addOption("--topology", "SPEC", "auto",
+                     "device coupling map: grid<R>x<C>, line<N>, "
+                     "ring<N>, heavyhex57, alltoall<N>, auto");
+    parser.addOption("--flow", "NAME", "mirage",
+                     "pipeline flow: sabre, mirage-swaps, mirage");
+    parser.addOption("--trials", "N", "8", "independent layout trials");
+    parser.addOption("--swap-trials", "N", "4",
+                     "routing repeats per layout");
+    parser.addOption("--fwd-bwd", "N", "2", "layout refinement rounds");
+    parser.addOption("--threads", "N", "1",
+                     "trial-grid worker threads (0 = all cores); output "
+                     "is bit-identical for every value");
+    parser.addOption("--seed", "N", "20240229", "root RNG seed");
+    parser.addOption("--aggression", "N", "-1",
+                     "fixed mirror aggression 0-3 (-1 = 5/45/45/5 mix)");
+    parser.addOption("--root", "N", "2",
+                     "basis gate: the N-th root of iSWAP");
+    parser.addFlag("--no-vf2", "skip the VF2 SWAP-free layout check");
+    parser.addFlag("--lower",
+                   "lower the routed circuit to RootISWAP pulses and "
+                   "measure pulse metrics");
+    parser.addOption("--cache", "DIR", "",
+                     "equivalence-library cache directory (load before, "
+                     "save after; implies faster --lower reruns)");
+    parser.addOption("--format", "FMT", "json",
+                     "output format: json (report) or qasm (circuit)");
+    parser.addOption("--output", "FILE", "",
+                     "write output here instead of stdout");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (parser.positionals().size() != 1)
+        throw UsageError("transpile expects exactly one input file "
+                         "(or '-' for stdin); see 'mirage transpile "
+                         "--help'");
+
+    const std::string &path = parser.positionals()[0];
+    const std::string format = parser.option("--format");
+    if (format != "json" && format != "qasm")
+        throw UsageError("unknown --format '" + format +
+                         "' (expected json or qasm)");
+
+    const std::string text = readInput(path);
+    circuit::Circuit input;
+    try {
+        input = circuit::fromQasm(text);
+    } catch (const circuit::QasmError &e) {
+        err << "mirage: " << (path == "-" ? "<stdin>" : path) << ":"
+            << e.line() << ":" << e.column() << ": " << e.message()
+            << "\n";
+        return kExitFailure;
+    }
+    if (input.numQubits() == 0)
+        throw CliError("'" + path + "' declares no qubits");
+
+    mirage_pass::TranspileOptions opts;
+    opts.flow = parseFlow(parser.option("--flow"));
+    opts.rootDegree = parser.intOption("--root");
+    opts.layoutTrials = parser.intOption("--trials");
+    opts.swapTrials = parser.intOption("--swap-trials");
+    opts.forwardBackwardPasses = parser.intOption("--fwd-bwd");
+    opts.threads = parser.intOption("--threads");
+    opts.seed = parser.u64Option("--seed");
+    opts.fixedAggression = parser.intOption("--aggression");
+    opts.tryVf2 = !parser.flag("--no-vf2");
+    opts.lowerToBasis = parser.flag("--lower");
+    if (opts.layoutTrials < 1 || opts.swapTrials < 1)
+        throw UsageError("--trials and --swap-trials must be >= 1");
+    if (opts.threads < 0)
+        throw UsageError("--threads must be >= 0 (0 = all cores)");
+    if (opts.rootDegree < 2)
+        throw UsageError("--root must be >= 2");
+
+    const topology::CouplingMap topo =
+        parseTopology(parser.option("--topology"), input.numQubits());
+    if (topo.numQubits() < input.numQubits())
+        throw CliError("topology '" + parser.option("--topology") +
+                       "' has " + std::to_string(topo.numQubits()) +
+                       " qubits but the circuit needs " +
+                       std::to_string(input.numQubits()));
+
+    // Constructing the library preseeds standard-gate fits, so build
+    // it only when the lowering stage will actually run.
+    std::optional<decomp::EquivalenceLibrary> library;
+    const std::string cacheDir = parser.option("--cache");
+    std::string cacheFile;
+    if (opts.lowerToBasis) {
+        library.emplace(opts.rootDegree);
+        if (!cacheDir.empty()) {
+            cacheFile = cacheDir + "/eqlib-root" +
+                        std::to_string(opts.rootDegree) + ".cache";
+            library->loadCacheFile(cacheFile);
+        }
+        opts.equivalenceLibrary = &*library;
+    }
+
+    auto res = mirage_pass::transpile(input, topo, opts);
+
+    if (!cacheFile.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir, ec);
+        if (!library->saveCacheFile(cacheFile))
+            err << "mirage: warning: cannot write cache '" << cacheFile
+                << "'\n";
+    }
+
+    if (format == "qasm") {
+        const circuit::Circuit &emitted =
+            res.loweredToBasis ? res.lowered : res.routed;
+        writeOutput(parser.option("--output"), circuit::toQasm(emitted),
+                    out);
+        return kExitSuccess;
+    }
+
+    json::Value doc = json::Value::object();
+    doc.set("schemaVersion", kArtifactSchemaVersion);
+    doc.set("kind", "mirage-transpile");
+    {
+        json::Value in = json::Value::object();
+        in.set("file", path == "-" ? "<stdin>" : path);
+        in.set("qubits", input.numQubits());
+        in.set("gates", int(input.size()));
+        in.set("twoQubitGates", input.twoQubitGateCount());
+        doc.set("input", std::move(in));
+    }
+    {
+        json::Value t = json::Value::object();
+        t.set("name", topo.name());
+        t.set("qubits", topo.numQubits());
+        t.set("edges", int(topo.edges().size()));
+        doc.set("topology", std::move(t));
+    }
+    {
+        json::Value o = json::Value::object();
+        o.set("flow", flowName(opts.flow));
+        o.set("rootDegree", opts.rootDegree);
+        o.set("layoutTrials", opts.layoutTrials);
+        o.set("swapTrials", opts.swapTrials);
+        o.set("forwardBackwardPasses", opts.forwardBackwardPasses);
+        o.set("threads", opts.threads);
+        o.set("seed", opts.seed);
+        o.set("fixedAggression", opts.fixedAggression);
+        o.set("tryVf2", opts.tryVf2);
+        o.set("lowerToBasis", opts.lowerToBasis);
+        doc.set("options", std::move(o));
+    }
+    {
+        json::Value r = json::Value::object();
+        r.set("metrics", metricsJson(res.metrics));
+        r.set("swapsAdded", res.swapsAdded);
+        r.set("mirrorsAccepted", res.mirrorsAccepted);
+        r.set("mirrorCandidates", res.mirrorCandidates);
+        r.set("mirrorAcceptRate", res.mirrorAcceptRate());
+        r.set("usedVf2", res.usedVf2);
+        r.set("routedGates", int(res.routed.size()));
+        doc.set("result", std::move(r));
+    }
+    if (res.loweredToBasis) {
+        json::Value l = json::Value::object();
+        l.set("metrics", metricsJson(res.loweredMetrics));
+        l.set("gates", int(res.lowered.size()));
+        l.set("blocksTranslated", res.translateStats.blocksTranslated);
+        l.set("cacheHits", res.translateStats.cacheHits);
+        l.set("newFits", res.translateStats.newFits);
+        l.set("worstInfidelity", res.translateStats.worstInfidelity);
+        l.set("pulses", res.translateStats.totalPulses);
+        doc.set("lowered", std::move(l));
+    }
+    writeOutput(parser.option("--output"), doc.dump(2), out);
+    return kExitSuccess;
+}
+
+// --- sweep ------------------------------------------------------------------
+
+int
+cmdSweep(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    ArgumentParser parser("sweep", "--experiment <name>");
+    parser.addOption("--experiment", "NAME", "",
+                     "registered experiment to run (see --list)");
+    parser.addOption("--out", "DIR", ".",
+                     "directory for the emitted artifacts");
+    parser.addOption("--seeds", "N", "",
+                     "independent instances averaged (experiment "
+                     "default when omitted)");
+    parser.addOption("--trials", "N", "", "layout trials (default: "
+                     "experiment)");
+    parser.addOption("--swap-trials", "N", "",
+                     "routing repeats per layout (default: experiment)");
+    parser.addOption("--fwd-bwd", "N", "",
+                     "layout refinement rounds (default: experiment)");
+    parser.addOption("--threads", "N", "1",
+                     "trial-grid worker threads (0 = all cores)");
+    parser.addOption("--mc-iters", "N", "",
+                     "Monte-Carlo iterations (table2)");
+    parser.addOption("--cache", "DIR", "",
+                     "equivalence-library cache directory shared across "
+                     "runs (table3/fig13)");
+    parser.addFlag("--csv", "also write <name>.csv next to the JSON");
+    parser.addFlag("--stdout",
+                   "print the artifact JSON to stdout instead of "
+                   "writing files");
+    parser.addFlag("--list", "list registered experiments and exit");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (parser.flag("--list")) {
+        for (const auto &e : experimentRegistry())
+            out << e.name << "\t" << e.artifact << "\t" << e.title
+                << "\n";
+        return kExitSuccess;
+    }
+    if (!parser.positionals().empty())
+        throw UsageError("sweep takes no positional operands");
+    const std::string name = parser.option("--experiment");
+    if (name.empty())
+        throw UsageError("sweep requires --experiment <name> (or "
+                         "--list)");
+    const Experiment *experiment = findExperiment(name);
+    if (!experiment) {
+        std::string known;
+        for (const auto &e : experimentRegistry())
+            known += (known.empty() ? "" : ", ") + e.name;
+        throw UsageError("unknown experiment '" + name +
+                         "' (available: " + known + ")");
+    }
+
+    SweepKnobs knobs;
+    auto knob = [&parser](const char *flag, int *slot) {
+        if (!parser.optionSeen(flag))
+            return;
+        int v = parser.intOption(flag);
+        if (v < 1)
+            throw UsageError(std::string("option '") + flag +
+                             "' must be >= 1");
+        *slot = v;
+    };
+    knob("--seeds", &knobs.seeds);
+    knob("--trials", &knobs.layoutTrials);
+    knob("--swap-trials", &knobs.swapTrials);
+    knob("--fwd-bwd", &knobs.fwdBwd);
+    knob("--mc-iters", &knobs.mcIterations);
+    knobs.threads = parser.intOption("--threads");
+    if (knobs.threads < 0)
+        throw UsageError("--threads must be >= 0 (0 = all cores)");
+    knobs.cacheDir = parser.option("--cache");
+
+    err << "mirage: running experiment '" << name << "' ("
+        << experiment->artifact << ")...\n";
+    json::Value artifact = runExperiment(*experiment, knobs);
+
+    if (parser.flag("--stdout")) {
+        out << artifact.dump(2);
+        return kExitSuccess;
+    }
+
+    const std::string dir = parser.option("--out");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string jsonPath = dir + "/" + name + ".json";
+    {
+        std::ofstream f(jsonPath);
+        if (!f)
+            throw CliError("cannot write '" + jsonPath + "'");
+        f << artifact.dump(2);
+    }
+    out << "wrote " << jsonPath << " ("
+        << artifact["rows"].size() << " rows)\n";
+    if (parser.flag("--csv")) {
+        const std::string csvPath = dir + "/" + name + ".csv";
+        std::ofstream f(csvPath);
+        if (!f)
+            throw CliError("cannot write '" + csvPath + "'");
+        f << renderCsv(artifact);
+        out << "wrote " << csvPath << "\n";
+    }
+    return kExitSuccess;
+}
+
+// --- report -----------------------------------------------------------------
+
+int
+cmdReport(const std::vector<std::string> &args, std::ostream &out,
+          std::ostream &err)
+{
+    ArgumentParser parser("report", "<artifact.json>...");
+    parser.addOption("--output", "FILE", "",
+                     "write the markdown here instead of stdout");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (parser.positionals().empty())
+        throw UsageError("report expects at least one artifact file");
+
+    std::string rendered;
+    for (const auto &path : parser.positionals()) {
+        const std::string text = readInput(path);
+        json::Value artifact;
+        try {
+            artifact = json::parse(text);
+        } catch (const json::ParseError &e) {
+            err << "mirage: " << path << ":" << e.line() << ":"
+                << e.column() << ": " << e.what() << "\n";
+            return kExitFailure;
+        }
+        std::string schemaError;
+        if (!validateArtifact(artifact, &schemaError)) {
+            err << "mirage: " << path << ": invalid artifact: "
+                << schemaError << "\n";
+            return kExitFailure;
+        }
+        if (!rendered.empty())
+            rendered += "\n";
+        rendered += renderMarkdown(artifact);
+    }
+    writeOutput(parser.option("--output"), rendered, out);
+    return kExitSuccess;
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+const char *const kVersion = "0.1.0";
+
+std::string
+usage()
+{
+    return "usage: mirage <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  transpile   run the full MIRAGE pipeline on an OpenQASM 2 "
+           "file\n"
+           "  sweep       run a registered paper experiment, emit a "
+           "JSON/CSV artifact\n"
+           "  report      render sweep artifacts as markdown tables\n"
+           "  version     print the version\n"
+           "  help        show this message\n"
+           "\n"
+           "'mirage <command> --help' documents each command;\n"
+           "'mirage sweep --list' names the registered experiments.\n";
+}
+
+} // namespace
+
+int
+run(const std::vector<std::string> &args, std::ostream &out,
+    std::ostream &err)
+{
+    if (args.empty()) {
+        err << usage();
+        return kExitUsage;
+    }
+    const std::string &command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+    try {
+        if (command == "help" || command == "--help" || command == "-h") {
+            out << usage();
+            return kExitSuccess;
+        }
+        if (command == "version" || command == "--version") {
+            out << "mirage " << kVersion << "\n";
+            return kExitSuccess;
+        }
+        if (command == "transpile")
+            return cmdTranspile(rest, out, err);
+        if (command == "sweep")
+            return cmdSweep(rest, out, err);
+        if (command == "report")
+            return cmdReport(rest, out, err);
+        err << "mirage: unknown command '" << command << "'\n\n"
+            << usage();
+        return kExitUsage;
+    } catch (const UsageError &e) {
+        err << "mirage: " << e.what() << "\n";
+        return kExitUsage;
+    } catch (const CliError &e) {
+        err << "mirage: " << e.what() << "\n";
+        return kExitFailure;
+    } catch (const std::exception &e) {
+        err << "mirage: " << e.what() << "\n";
+        return kExitFailure;
+    }
+}
+
+} // namespace mirage::cli

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The `mirage` command-line tool: subcommand dispatch and exit-code
+ * discipline.
+ *
+ * Subcommands: `transpile` (full pipeline on arbitrary OpenQASM 2,
+ * JSON or QASM output), `sweep` (runs a registered paper experiment
+ * and writes a versioned JSON/CSV artifact), `report` (renders sweep
+ * artifacts as markdown tables), plus `help`/`version`. run() is the
+ * whole tool behind main(): it takes argv and the output/error
+ * streams, never calls exit(), and returns 0 on success, 1 on runtime
+ * errors (bad input files, malformed artifacts), 2 on usage errors --
+ * so tests drive it in-process and scripts can branch on the code.
+ */
+
+#ifndef MIRAGE_CLI_CLI_HH
+#define MIRAGE_CLI_CLI_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mirage::cli {
+
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+
+/**
+ * Run the tool on argv (without the program name). Normal output goes
+ * to `out`, diagnostics to `err`; returns the process exit code.
+ */
+int run(const std::vector<std::string> &args, std::ostream &out,
+        std::ostream &err);
+
+} // namespace mirage::cli
+
+#endif // MIRAGE_CLI_CLI_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The paper-reproduction experiment registry shared by the `mirage
+ * sweep` subcommand and the bench_* binaries.
+ *
+ * Every reproducible figure/table of the paper (Figs. 8/10/11/12/13,
+ * Tables I-III) is one named Experiment whose run() returns a
+ * machine-readable JSON artifact: a versioned envelope (schemaVersion,
+ * kind, experiment, title, paperRef) around resolved parameters, a
+ * typed column list, data rows, and a summary. The CLI writes the
+ * artifact to disk for CI archival/diffing; `mirage report` and the
+ * bench binaries render the same artifact as a markdown table, so the
+ * sweep logic lives in exactly one place.
+ */
+
+#ifndef MIRAGE_CLI_EXPERIMENTS_HH
+#define MIRAGE_CLI_EXPERIMENTS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace mirage::cli {
+
+/** Version stamped into every artifact; bump on breaking layout. */
+inline constexpr int kArtifactSchemaVersion = 1;
+/** The `kind` tag of sweep artifacts. */
+inline constexpr const char *kSweepArtifactKind = "mirage-sweep";
+
+/**
+ * User-tunable sweep knobs. -1 (or "" for cacheDir) means "use the
+ * experiment's own default"; the resolved values are recorded in the
+ * artifact's `parameters` object.
+ */
+struct SweepKnobs
+{
+    int seeds = -1;         ///< independent instances averaged
+    int layoutTrials = -1;  ///< SABRE/MIRAGE layout trials
+    int swapTrials = -1;    ///< routing repeats per layout
+    int fwdBwd = -1;        ///< layout refinement rounds
+    int threads = 1;        ///< trial-grid fan-out (0 = all cores)
+    int mcIterations = -1;  ///< Monte-Carlo iterations (Table II)
+    std::string cacheDir;   ///< equivalence-library cache dir ("" = off)
+};
+
+/**
+ * Knobs taken from the MIRAGE_BENCH_* environment (SEEDS, TRIALS,
+ * SWAP_TRIALS, FWD_BWD, MC_ITERS); unset variables stay "experiment
+ * default". The bench binaries use this so their historical env
+ * interface keeps working on top of the registry.
+ */
+SweepKnobs knobsFromEnv();
+
+/** Integer env knob with a fallback for unset variables. */
+int envInt(const char *name, int fallback);
+
+/** One registered experiment. */
+struct Experiment
+{
+    std::string name;     ///< registry key, e.g. "table3"
+    std::string artifact; ///< paper artifact, e.g. "Table III"
+    std::string title;    ///< human title for reports
+    std::string paperRef; ///< the paper's reference numbers
+    /** Runs the experiment; returns columns/rows/summary/parameters. */
+    std::function<json::Value(const SweepKnobs &)> run;
+};
+
+/** All registered experiments, in paper order. */
+const std::vector<Experiment> &experimentRegistry();
+
+/** Lookup by name; nullptr when unknown. */
+const Experiment *findExperiment(const std::string &name);
+
+/**
+ * Run an experiment and wrap its result in the versioned artifact
+ * envelope (schemaVersion/kind/experiment/title/paperRef + payload).
+ */
+json::Value runExperiment(const Experiment &e, const SweepKnobs &knobs);
+
+/**
+ * Check an artifact against the schema `mirage report` and CI rely on:
+ * schemaVersion == kArtifactSchemaVersion, kind == "mirage-sweep", and
+ * the required keys (experiment/title/parameters/columns/rows) with
+ * well-formed columns ({key,label} objects) and object rows. On
+ * failure returns false and sets *error.
+ */
+bool validateArtifact(const json::Value &artifact, std::string *error);
+
+/** Render an artifact as a GitHub-markdown section (table + summary). */
+std::string renderMarkdown(const json::Value &artifact);
+
+/** Render an artifact's rows as CSV (header = column keys). */
+std::string renderCsv(const json::Value &artifact);
+
+} // namespace mirage::cli
+
+#endif // MIRAGE_CLI_EXPERIMENTS_HH

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * JSON writer/parser implementation: ordered-member objects, exact
+ * number round-trips via shortest-representation probing, and a
+ * recursive-descent parser that reports 1-based line/column positions
+ * in every error.
+ */
+
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mirage::json {
+
+ParseError::ParseError(int line, int column, const std::string &message)
+    : std::runtime_error(std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line), column_(column)
+{
+}
+
+bool
+Value::asBool() const
+{
+    MIRAGE_ASSERT(kind_ == Kind::Bool, "json value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    MIRAGE_ASSERT(kind_ == Kind::Number, "json value is not a number");
+    return num_;
+}
+
+int64_t
+Value::asInt() const
+{
+    return int64_t(std::llround(asNumber()));
+}
+
+const std::string &
+Value::asString() const
+{
+    MIRAGE_ASSERT(kind_ == Kind::String, "json value is not a string");
+    return str_;
+}
+
+size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    MIRAGE_ASSERT(kind_ == Kind::Array, "json value is not an array");
+    MIRAGE_ASSERT(i < arr_.size(), "json array index out of range");
+    return arr_[i];
+}
+
+void
+Value::push(Value v)
+{
+    MIRAGE_ASSERT(kind_ == Kind::Array, "json value is not an array");
+    arr_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    MIRAGE_ASSERT(kind_ == Kind::Object, "json value is not an object");
+    return obj_;
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    MIRAGE_ASSERT(kind_ == Kind::Object, "json value is not an object");
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Value &
+Value::operator[](const std::string &key) const
+{
+    const Value *v = find(key);
+    MIRAGE_ASSERT(v, "missing json object key '%s'", key.c_str());
+    return *v;
+}
+
+std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral values inside the exactly-representable range print as
+    // plain integers (the common case for counts and schema versions).
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    // Shortest decimal representation that strtod recovers exactly.
+    for (int prec = 15; prec <= 17; ++prec) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return "null"; // unreachable: %.17g always round-trips
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(size_t(indent) * (depth + 1), ' ') : "";
+    const std::string closePad =
+        indent > 0 ? std::string(size_t(indent) * depth, ' ') : "";
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += formatNumber(num_);
+        break;
+      case Kind::String:
+        out += quote(str_);
+        break;
+      case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            out += pad;
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += ']';
+        break;
+      case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            out += pad;
+            out += quote(obj_[i].first);
+            out += colon;
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON reader with line/column tracking. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipSpace();
+        if (pos_ < s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw ParseError(line_, column(), message);
+    }
+
+    int column() const { return int(pos_ - lineStart_) + 1; }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                lineStart_ = pos_;
+            } else if (c == ' ' || c == '\t' || c == '\r') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= s_.size())
+            fail("unexpected end of document");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    Value
+    value()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Value(string());
+          case 't': literal("true"); return Value(true);
+          case 'f': literal("false"); return Value(false);
+          case 'n': literal("null"); return Value();
+          default: return number();
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                fail(std::string("expected '") + word + "'");
+            ++pos_;
+        }
+    }
+
+    Value
+    number()
+    {
+        const char *begin = s_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin || !std::isfinite(v))
+            fail("expected a value");
+        pos_ += size_t(end - begin);
+        return Value(v);
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\n')
+                fail("newline in string literal");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are not needed for the
+                // ASCII-ish artifacts we read; encode the code unit).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xC0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3F));
+                } else {
+                    out += char(0xE0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3F));
+                    out += char(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape character");
+            }
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value v = Value::array();
+        if (consume(']'))
+            return v;
+        do {
+            v.push(value());
+        } while (consume(','));
+        expect(']');
+        return v;
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value v = Value::object();
+        if (consume('}'))
+            return v;
+        do {
+            skipSpace();
+            std::string key = string();
+            expect(':');
+            v.set(key, value());
+        } while (consume(','));
+        expect('}');
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    size_t lineStart_ = 0;
+    int line_ = 1;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+} // namespace mirage::json

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * In-process tests for the `mirage` command-line tool: argument-parser
+ * behavior, JSON layer round trips, subcommand exit codes and error
+ * messages, QASM diagnostics surfaced as file:line:col, artifact
+ * schema validation, and deterministic transpile output across runs
+ * and thread counts. Everything drives cli::run directly -- no
+ * subprocesses -- so failures point at the exact layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_circuits/generators.hh"
+#include "circuit/qasm.hh"
+#include "cli/args.hh"
+#include "cli/cli.hh"
+#include "cli/experiments.hh"
+#include "common/json.hh"
+
+using namespace mirage;
+
+namespace {
+
+struct CliResult
+{
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+runCli(const std::vector<std::string> &args)
+{
+    std::ostringstream out, err;
+    int code = cli::run(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    ASSERT_TRUE(f.is_open()) << path;
+    f << content;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path);
+    EXPECT_TRUE(f.is_open()) << path;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+// --- argument parser --------------------------------------------------------
+
+TEST(ArgumentParser, FlagsOptionsAndPositionals)
+{
+    cli::ArgumentParser p("test", "<file>");
+    p.addFlag("--lower", "flag");
+    p.addOption("--seed", "N", "42", "seed");
+    p.addOption("--topology", "SPEC", "auto", "topo");
+    p.parse({"a.qasm", "--lower", "--seed=7", "--topology", "grid3x3",
+             "--", "--not-an-option"});
+    EXPECT_TRUE(p.flag("--lower"));
+    EXPECT_EQ(p.intOption("--seed"), 7);
+    EXPECT_TRUE(p.optionSeen("--seed"));
+    EXPECT_EQ(p.option("--topology"), "grid3x3");
+    ASSERT_EQ(p.positionals().size(), 2u);
+    EXPECT_EQ(p.positionals()[0], "a.qasm");
+    EXPECT_EQ(p.positionals()[1], "--not-an-option");
+}
+
+TEST(ArgumentParser, DefaultsApplyWhenAbsent)
+{
+    cli::ArgumentParser p("test", "");
+    p.addOption("--seed", "N", "42", "seed");
+    p.addFlag("--lower", "flag");
+    p.parse({});
+    EXPECT_EQ(p.intOption("--seed"), 42);
+    EXPECT_FALSE(p.optionSeen("--seed"));
+    EXPECT_FALSE(p.flag("--lower"));
+}
+
+TEST(ArgumentParser, ErrorsAreUsageErrors)
+{
+    cli::ArgumentParser p("test", "");
+    p.addOption("--seed", "N", "42", "seed");
+    p.addFlag("--lower", "flag");
+    EXPECT_THROW(p.parse({"--bogus"}), cli::UsageError);
+
+    cli::ArgumentParser q("test", "");
+    q.addOption("--seed", "N", "42", "seed");
+    EXPECT_THROW(q.parse({"--seed"}), cli::UsageError);
+
+    cli::ArgumentParser r("test", "");
+    r.addFlag("--lower", "flag");
+    EXPECT_THROW(r.parse({"--lower=yes"}), cli::UsageError);
+
+    cli::ArgumentParser s("test", "");
+    s.addOption("--seed", "N", "42", "seed");
+    s.parse({"--seed", "banana"});
+    EXPECT_THROW(s.intOption("--seed"), cli::UsageError);
+}
+
+// --- json layer -------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip)
+{
+    json::Value doc = json::Value::object();
+    doc.set("name", "qft_n8");
+    doc.set("count", 42);
+    doc.set("ratio", 0.1);
+    doc.set("tiny", 1.77e-8);
+    doc.set("ok", true);
+    doc.set("none", json::Value());
+    json::Value arr = json::Value::array();
+    arr.push(1);
+    arr.push("two");
+    doc.set("mixed", std::move(arr));
+
+    json::Value parsed = json::parse(doc.dump(2));
+    EXPECT_EQ(parsed["name"].asString(), "qft_n8");
+    EXPECT_EQ(parsed["count"].asInt(), 42);
+    EXPECT_EQ(parsed["ratio"].asNumber(), 0.1);
+    EXPECT_EQ(parsed["tiny"].asNumber(), 1.77e-8);
+    EXPECT_TRUE(parsed["ok"].asBool());
+    EXPECT_TRUE(parsed["none"].isNull());
+    EXPECT_EQ(parsed["mixed"].at(1).asString(), "two");
+
+    // Key order is preserved, so dumps are deterministic and diffable.
+    EXPECT_EQ(parsed.dump(2), doc.dump(2));
+    EXPECT_LT(doc.dump(0).find("\"name\""), doc.dump(0).find("\"count\""));
+}
+
+TEST(Json, StringEscapes)
+{
+    json::Value v(std::string("line\nquote\"tab\t\\"));
+    json::Value parsed = json::parse(v.dump(0));
+    EXPECT_EQ(parsed.asString(), "line\nquote\"tab\t\\");
+}
+
+TEST(Json, ParseErrorsCarryPosition)
+{
+    try {
+        json::parse("{\n  \"a\": }");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError &e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_GT(e.column(), 1);
+    }
+    EXPECT_THROW(json::parse(""), json::ParseError);
+    EXPECT_THROW(json::parse("{} trailing"), json::ParseError);
+    EXPECT_THROW(json::parse("[1, 2"), json::ParseError);
+}
+
+// --- top-level dispatch -----------------------------------------------------
+
+TEST(CliDispatch, NoArgumentsIsUsageError)
+{
+    auto r = runCli({});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliDispatch, UnknownCommandIsUsageError)
+{
+    auto r = runCli({"frobnicate"});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+    EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliDispatch, HelpAndVersionSucceed)
+{
+    auto help = runCli({"help"});
+    EXPECT_EQ(help.code, cli::kExitSuccess);
+    EXPECT_NE(help.out.find("transpile"), std::string::npos);
+
+    auto version = runCli({"version"});
+    EXPECT_EQ(version.code, cli::kExitSuccess);
+    EXPECT_NE(version.out.find("mirage"), std::string::npos);
+
+    auto sub = runCli({"transpile", "--help"});
+    EXPECT_EQ(sub.code, cli::kExitSuccess);
+    EXPECT_NE(sub.out.find("--topology"), std::string::npos);
+}
+
+// --- transpile --------------------------------------------------------------
+
+namespace {
+
+std::string
+qft4Path()
+{
+    static const std::string path = [] {
+        std::string p = tempPath("qft4.qasm");
+        std::ofstream f(p);
+        f << circuit::toQasm(bench::qft(4, true));
+        return p;
+    }();
+    return path;
+}
+
+} // namespace
+
+TEST(CliTranspile, MissingFileFailsWithExitOne)
+{
+    auto r = runCli({"transpile", tempPath("nope.qasm")});
+    EXPECT_EQ(r.code, cli::kExitFailure);
+    EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTranspile, MalformedQasmReportsFileLineColumn)
+{
+    std::string path = tempPath("bad.qasm");
+    writeFile(path,
+              "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\nfrob q[0];\n");
+    auto r = runCli({"transpile", path});
+    EXPECT_EQ(r.code, cli::kExitFailure);
+    EXPECT_NE(r.err.find(path + ":4:1:"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("unsupported statement 'frob'"),
+              std::string::npos);
+}
+
+TEST(CliTranspile, UnknownTopologyIsUsageError)
+{
+    auto r = runCli({"transpile", qft4Path(), "--topology", "torus9"});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+    EXPECT_NE(r.err.find("unknown topology"), std::string::npos);
+}
+
+TEST(CliTranspile, TopologyTooSmallFails)
+{
+    auto r = runCli({"transpile", qft4Path(), "--topology", "line2"});
+    EXPECT_EQ(r.code, cli::kExitFailure);
+    EXPECT_NE(r.err.find("qubits"), std::string::npos);
+}
+
+TEST(CliTranspile, JsonReportSchemaAndDeterminism)
+{
+    std::vector<std::string> args = {"transpile", qft4Path(),
+                                     "--topology", "line4",
+                                     "--seed",     "99",
+                                     "--trials",   "4"};
+    auto first = runCli(args);
+    ASSERT_EQ(first.code, cli::kExitSuccess) << first.err;
+
+    json::Value doc = json::parse(first.out);
+    EXPECT_EQ(doc["schemaVersion"].asInt(), cli::kArtifactSchemaVersion);
+    EXPECT_EQ(doc["kind"].asString(), "mirage-transpile");
+    EXPECT_EQ(doc["input"]["qubits"].asInt(), 4);
+    EXPECT_EQ(doc["topology"].find("name")->asString(), "line-4");
+    EXPECT_GT(doc["result"]["metrics"]["totalPulses"].asNumber(), 0.0);
+    EXPECT_FALSE(doc.contains("lowered"));
+
+    // Identical invocation -> byte-identical report.
+    auto second = runCli(args);
+    EXPECT_EQ(first.out, second.out);
+
+    // The determinism guarantee: thread count never changes the
+    // transpile result (the echoed options block differs by design).
+    args.push_back("--threads");
+    args.push_back("4");
+    auto threaded = runCli(args);
+    json::Value threadedDoc = json::parse(threaded.out);
+    EXPECT_EQ(doc["result"].dump(2), threadedDoc["result"].dump(2));
+}
+
+TEST(CliTranspile, LoweredQasmOutputRoundTripsThroughFromQasm)
+{
+    std::string outPath = tempPath("lowered.qasm");
+    auto r = runCli({"transpile", qft4Path(), "--topology", "line4",
+                     "--trials", "2", "--lower", "--format", "qasm",
+                     "--output", outPath});
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+
+    circuit::Circuit lowered = circuit::fromQasm(readFile(outPath));
+    EXPECT_EQ(lowered.numQubits(), 4);
+    EXPECT_GT(lowered.size(), 0u);
+}
+
+TEST(CliTranspile, LoweredJsonReportsMeasuredMetrics)
+{
+    auto r = runCli({"transpile", qft4Path(), "--topology", "line4",
+                     "--trials", "2", "--lower"});
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+    json::Value doc = json::parse(r.out);
+    ASSERT_TRUE(doc.contains("lowered"));
+    EXPECT_GT(doc["lowered"]["metrics"]["totalPulses"].asNumber(), 0.0);
+    EXPECT_LT(doc["lowered"]["worstInfidelity"].asNumber(), 1e-6);
+}
+
+// --- sweep + report ---------------------------------------------------------
+
+TEST(CliSweep, ListNamesEveryRegisteredExperiment)
+{
+    auto r = runCli({"sweep", "--list"});
+    EXPECT_EQ(r.code, cli::kExitSuccess);
+    for (const auto &e : cli::experimentRegistry())
+        EXPECT_NE(r.out.find(e.name), std::string::npos) << e.name;
+}
+
+TEST(CliSweep, UnknownExperimentListsAvailable)
+{
+    auto r = runCli({"sweep", "--experiment", "fig99"});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+    EXPECT_NE(r.err.find("unknown experiment"), std::string::npos);
+    EXPECT_NE(r.err.find("table3"), std::string::npos);
+}
+
+TEST(CliSweep, MissingExperimentIsUsageError)
+{
+    auto r = runCli({"sweep"});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+}
+
+TEST(CliSweep, Fig8ArtifactValidatesRendersAndExportsCsv)
+{
+    std::string dir = tempPath("arts");
+    auto r = runCli({"sweep", "--experiment", "fig8", "--out", dir,
+                     "--csv"});
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+    EXPECT_NE(r.out.find("fig8.json"), std::string::npos);
+
+    json::Value artifact = json::parse(readFile(dir + "/fig8.json"));
+    std::string schemaError;
+    EXPECT_TRUE(cli::validateArtifact(artifact, &schemaError))
+        << schemaError;
+    EXPECT_EQ(artifact["schemaVersion"].asInt(),
+              cli::kArtifactSchemaVersion);
+    EXPECT_EQ(artifact["kind"].asString(), "mirage-sweep");
+    EXPECT_EQ(artifact["experiment"].asString(), "fig8");
+    EXPECT_EQ(artifact["rows"].size(), 2u);
+
+    std::string csv = readFile(dir + "/fig8.csv");
+    EXPECT_NE(csv.find("flow,depthPulses"), std::string::npos);
+    EXPECT_NE(csv.find("MIRAGE"), std::string::npos);
+
+    auto report = runCli({"report", dir + "/fig8.json"});
+    ASSERT_EQ(report.code, cli::kExitSuccess) << report.err;
+    EXPECT_NE(report.out.find("| flow |"), std::string::npos);
+    EXPECT_NE(report.out.find("MIRAGE"), std::string::npos);
+}
+
+TEST(CliSweep, StdoutModeEmitsArtifactJson)
+{
+    auto r = runCli({"sweep", "--experiment", "fig8", "--stdout"});
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+    json::Value artifact = json::parse(r.out);
+    std::string schemaError;
+    EXPECT_TRUE(cli::validateArtifact(artifact, &schemaError))
+        << schemaError;
+}
+
+TEST(CliReport, RejectsMalformedJsonWithPosition)
+{
+    std::string path = tempPath("garbage.json");
+    writeFile(path, "{\n  not json\n");
+    auto r = runCli({"report", path});
+    EXPECT_EQ(r.code, cli::kExitFailure);
+    EXPECT_NE(r.err.find(path + ":2:"), std::string::npos) << r.err;
+}
+
+TEST(CliReport, RejectsSchemaVersionDrift)
+{
+    json::Value artifact =
+        cli::runExperiment(*cli::findExperiment("table1"), {});
+    artifact.set("schemaVersion", 99);
+    std::string path = tempPath("drift.json");
+    writeFile(path, artifact.dump(2));
+    auto r = runCli({"report", path});
+    EXPECT_EQ(r.code, cli::kExitFailure);
+    EXPECT_NE(r.err.find("schemaVersion"), std::string::npos);
+}
+
+TEST(CliReport, RejectsMissingRequiredKeys)
+{
+    json::Value artifact =
+        cli::runExperiment(*cli::findExperiment("table1"), {});
+    std::string schemaError;
+    ASSERT_TRUE(cli::validateArtifact(artifact, &schemaError));
+
+    json::Value noRows = json::Value::object();
+    for (const auto &[k, v] : artifact.members()) {
+        if (k != "rows")
+            noRows.set(k, v);
+    }
+    EXPECT_FALSE(cli::validateArtifact(noRows, &schemaError));
+    EXPECT_NE(schemaError.find("rows"), std::string::npos);
+
+    EXPECT_FALSE(cli::validateArtifact(json::Value(3.0), &schemaError));
+
+    // Every key the renderers dereference must be validated up front:
+    // report has to exit 1 on these, never crash (regression).
+    json::Value noPaperArtifact = json::Value::object();
+    for (const auto &[k, v] : artifact.members()) {
+        if (k != "paperArtifact")
+            noPaperArtifact.set(k, v);
+    }
+    EXPECT_FALSE(cli::validateArtifact(noPaperArtifact, &schemaError));
+    std::string path = tempPath("no-paper-artifact.json");
+    writeFile(path, noPaperArtifact.dump(2));
+    auto r = runCli({"report", path});
+    EXPECT_EQ(r.code, cli::kExitFailure);
+
+    json::Value badColumn = artifact;
+    json::Value cols = json::Value::array();
+    json::Value numericKey = json::Value::object();
+    numericKey.set("key", 7);
+    numericKey.set("label", "seven");
+    cols.push(std::move(numericKey));
+    badColumn.set("columns", std::move(cols));
+    EXPECT_FALSE(cli::validateArtifact(badColumn, &schemaError));
+    EXPECT_NE(schemaError.find("key/label"), std::string::npos);
+}
+
+// --- experiment registry ----------------------------------------------------
+
+TEST(ExperimentRegistry, CoversTheReproduciblePaperArtifacts)
+{
+    for (const char *name : {"fig8", "fig10", "fig11", "fig12", "fig13",
+                             "table1", "table2", "table3"})
+        EXPECT_NE(cli::findExperiment(name), nullptr) << name;
+    EXPECT_EQ(cli::findExperiment("fig7"), nullptr);
+}
+
+TEST(ExperimentRegistry, Table1MatchesPaperScores)
+{
+    json::Value artifact =
+        cli::runExperiment(*cli::findExperiment("table1"), {});
+    ASSERT_EQ(artifact["rows"].size(), 3u);
+    // sqrt(iSWAP) exact Haar scores: paper Table I reports 1.105 plain
+    // and 1.029 with mirrors.
+    const json::Value &row = artifact["rows"].at(0);
+    EXPECT_NEAR(row["haar"].asNumber(), 1.105, 0.02);
+    EXPECT_NEAR(row["mirrorHaar"].asNumber(), 1.029, 0.02);
+}

@@ -173,18 +173,81 @@ TEST(QasmParser, ConsolidatedBlocksLowerToParsableText)
     EXPECT_NEAR(std::abs(x.inner(y)), 1.0, 1e-7);
 }
 
+namespace {
+
+/** Parse and return the diagnostic the malformed input produces. */
+circuit::QasmError
+diagnose(const std::string &text)
+{
+    try {
+        circuit::fromQasm(text);
+    } catch (const circuit::QasmError &e) {
+        return e;
+    }
+    ADD_FAILURE() << "expected QasmError for: " << text;
+    return circuit::QasmError(0, 0, "no error raised");
+}
+
+} // namespace
+
 TEST(QasmParser, RejectsMalformedInput)
 {
-    EXPECT_DEATH(circuit::fromQasm("qreg q[2];"), "OPENQASM");
-    EXPECT_DEATH(
+    EXPECT_THROW(circuit::fromQasm("qreg q[2];"), circuit::QasmError);
+    EXPECT_THROW(
         circuit::fromQasm("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];"),
-        "unsupported");
-    EXPECT_DEATH(circuit::fromQasm("OPENQASM 2.0;\nqreg q[1];\nh r[0];"),
-                 "unknown register");
+        circuit::QasmError);
+    EXPECT_THROW(circuit::fromQasm("OPENQASM 2.0;\nqreg q[1];\nh r[0];"),
+                 circuit::QasmError);
     // Over-indexing must fail at parse time, not silently alias into a
     // later register's wires.
-    EXPECT_DEATH(
-        circuit::fromQasm(
-            "OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\nx a[3];"),
-        "out of range");
+    EXPECT_THROW(circuit::fromQasm(
+                     "OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\nx a[3];"),
+                 circuit::QasmError);
+}
+
+TEST(QasmParser, DiagnosticsCarryLineAndColumn)
+{
+    // Header: the bad keyword starts at 1:1.
+    auto e = diagnose("qreg q[2];");
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 1);
+    EXPECT_NE(e.message().find("OPENQASM"), std::string::npos);
+
+    // Unsupported statement: points at the statement word.
+    e = diagnose("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 1);
+    EXPECT_NE(e.message().find("frobnicate"), std::string::npos);
+
+    // Unknown register on line 3 (named in the message).
+    e = diagnose("OPENQASM 2.0;\nqreg q[1];\nh r[0];");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(e.message().find("unknown register 'r'"),
+              std::string::npos);
+
+    // Out-of-range index: points at the offending index token.
+    e = diagnose("OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\nx a[3];");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.column(), 5);
+    EXPECT_NE(e.message().find("out of range"), std::string::npos);
+
+    // Wrong parameter count: points at the gate word.
+    e = diagnose("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\nrx q[0];");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.column(), 1);
+    EXPECT_NE(e.message().find("expects 1 params"), std::string::npos);
+
+    // Oversized literal: reported as a diagnostic, not an exit.
+    e = diagnose("OPENQASM 2.0;\nqreg q[99999999999999999999];");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(e.message().find("out of range"), std::string::npos);
+
+    // Comments and blank lines must not desynchronize the position.
+    e = diagnose(
+        "OPENQASM 2.0;\n// comment line\n\nqreg q[2];\nbadgate q[0];");
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_EQ(e.column(), 1);
+
+    // what() is the scriptable "line:col: message" form.
+    EXPECT_NE(std::string(e.what()).find("5:1: "), std::string::npos);
 }

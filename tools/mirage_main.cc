@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Entry point of the `mirage` command-line tool. All behavior lives in
+ * mirage::cli::run (src/cli), which is also driven in-process by the
+ * test suite; this file only adapts argv and the standard streams.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return mirage::cli::run(args, std::cout, std::cerr);
+}
