@@ -47,7 +47,8 @@ grid64()
 
 void
 routeQft(benchmark::State &state, router::Aggression aggression,
-         bool caches)
+         bool caches,
+         router::ScoreMode score_mode = router::ScoreMode::Delta)
 {
     const int n = int(state.range(0));
     auto circ = bench::qft(n, true);
@@ -64,6 +65,7 @@ routeQft(benchmark::State &state, router::Aggression aggression,
         opts.aggression = aggression;
         opts.costModel = &cost;
         opts.seed = 42;
+        opts.scoreMode = score_mode;
         Rng rng(7);
         auto init = layout::Layout::random(64, rng);
         auto res = router::routePass(consolidated, grid64(), init, opts);
@@ -88,6 +90,61 @@ void
 BM_MirageUncached(benchmark::State &state)
 {
     routeQft(state, router::Aggression::Equal, false);
+}
+
+/**
+ * Pure routing-pass timing (consolidation hoisted out of the loop,
+ * unlike routeQft which deliberately includes it for the cache
+ * ablation): ScoreMode::Delta vs the reference full-rescan scorer.
+ * The Naive/Delta ratio is the scoring rewrite's speedup; the two
+ * produce bit-identical circuits (enforced by test_router_scoring).
+ */
+void
+routeOnly(benchmark::State &state, router::Aggression aggression,
+          router::ScoreMode score_mode)
+{
+    const int n = int(state.range(0));
+    monodromy::CostModel cost = monodromy::makeRootIswapCostModel(2);
+    auto consolidated = circuit::consolidateBlocks(bench::qft(n, true));
+
+    router::PassOptions opts;
+    opts.aggression = aggression;
+    opts.costModel = &cost;
+    opts.seed = 42;
+    opts.scoreMode = score_mode;
+    Rng rng(7);
+    auto init = layout::Layout::random(64, rng);
+
+    for (auto _ : state) {
+        auto res = router::routePass(consolidated, grid64(), init, opts);
+        benchmark::DoNotOptimize(res.swapsAdded);
+    }
+    state.SetLabel(score_mode == router::ScoreMode::Delta ? "delta"
+                                                          : "naive");
+}
+
+void
+BM_SabreDeltaScoring(benchmark::State &state)
+{
+    routeOnly(state, router::Aggression::None, router::ScoreMode::Delta);
+}
+
+void
+BM_SabreNaiveScoring(benchmark::State &state)
+{
+    routeOnly(state, router::Aggression::None, router::ScoreMode::Naive);
+}
+
+void
+BM_MirageDeltaScoring(benchmark::State &state)
+{
+    routeOnly(state, router::Aggression::Equal, router::ScoreMode::Delta);
+}
+
+void
+BM_MirageNaiveScoring(benchmark::State &state)
+{
+    routeOnly(state, router::Aggression::Equal, router::ScoreMode::Naive);
 }
 
 /** The full trial grid (the Fig. 13 workload's dominant cost). */
@@ -206,6 +263,14 @@ BENCHMARK(BM_SabreBaseline)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
 BENCHMARK(BM_MirageCached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MirageUncached)->Arg(16)->Arg(24)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SabreDeltaScoring)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SabreNaiveScoring)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MirageDeltaScoring)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MirageNaiveScoring)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrialEngineSerial)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);

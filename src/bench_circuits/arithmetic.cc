@@ -67,15 +67,14 @@ Circuit
 multiplier(int n)
 {
     // Draper-style multiplier: x (wx bits), y (wy bits), product
-    // (wx + wy bits) kept in the Fourier basis while controlled-controlled
-    // phases accumulate x*y.
+    // (wp = wx + wy bits) kept in the Fourier basis while
+    // controlled-controlled phases accumulate x*y.
     MIRAGE_ASSERT(n == 15, "multiplier is defined on 15 qubits");
     const int wx = 3, wy = 3, wp = 6;
     Circuit c(n, "multiplier_n" + std::to_string(n));
     auto x = [](int i) { return i; };
     auto y = [wx](int i) { return wx + i; };
     auto p = [wx, wy](int i) { return wx + wy + i; };
-    (void)wp;
 
     // Inputs.
     c.x(x(0));

@@ -20,6 +20,7 @@
 #include "cli/experiments.hh"
 #include "circuit/qasm.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "decomp/equivalence.hh"
 #include "mirage/pipeline.hh"
 #include "topology/coupling.hh"
@@ -319,6 +320,17 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
         r.set("mirrorAcceptRate", res.mirrorAcceptRate());
         r.set("usedVf2", res.usedVf2);
         r.set("routedGates", int(res.routed.size()));
+        // Hot-path work counters: deterministic (thread-invariant), so
+        // the report stays byte-identical across reruns and --threads
+        // values. Wall time is deliberately NOT emitted here.
+        json::Value c = json::Value::object();
+        c.set("stallSteps", res.routingCounters.stallSteps);
+        c.set("swapCandidates", res.routingCounters.swapCandidates);
+        c.set("heuristicEvals", res.routingCounters.heuristicEvals);
+        c.set("mirrorOutlooks", res.routingCounters.mirrorOutlooks);
+        c.set("extSetBuilds", res.routingCounters.extSetBuilds);
+        c.set("extSetReuses", res.routingCounters.extSetReuses);
+        r.set("routingCounters", std::move(c));
         doc.set("result", std::move(r));
     }
     if (res.loweredToBasis) {
@@ -446,6 +458,101 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
     return kExitSuccess;
 }
 
+// --- bench ------------------------------------------------------------------
+
+/**
+ * `mirage bench`: the routing perf trajectory. Thin front end over the
+ * registry's `bench` experiment that (a) defaults the artifact to the
+ * repo-root BENCH_fig13.json trajectory file and (b) gates CI: --check
+ * compares the deterministic hot-path counters against a checked-in
+ * baseline and fails the run on any regression.
+ */
+int
+cmdBench(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    ArgumentParser parser("bench", "[--check <baseline.json>]");
+    parser.addOption("--out", "FILE", "BENCH_fig13.json",
+                     "artifact path ('-' for stdout)");
+    parser.addOption("--check", "FILE", "",
+                     "baseline artifact; exit 1 if a deterministic "
+                     "counter (heuristicEvals, extSetBuilds) regressed");
+    parser.addOption("--trials", "N", "", "layout trials (default: 8)");
+    parser.addOption("--swap-trials", "N", "",
+                     "routing repeats per layout (default: 2)");
+    parser.addOption("--fwd-bwd", "N", "",
+                     "layout refinement rounds (default: 2)");
+    parser.addOption("--limit", "N", "",
+                     "only the first N Table III circuits (default: all)");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (!parser.positionals().empty())
+        throw UsageError("bench takes no positional operands");
+
+    SweepKnobs knobs;
+    auto knob = [&parser](const char *flag, int *slot, int min_value) {
+        if (!parser.optionSeen(flag))
+            return;
+        int v = parser.intOption(flag);
+        if (v < min_value)
+            throw UsageError(std::string("option '") + flag +
+                             "' must be >= " + std::to_string(min_value));
+        *slot = v;
+    };
+    knob("--trials", &knobs.layoutTrials, 1);
+    knob("--swap-trials", &knobs.swapTrials, 1);
+    knob("--fwd-bwd", &knobs.fwdBwd, 1);
+    knob("--limit", &knobs.suiteLimit, 1);
+
+    // Read the baseline BEFORE writing the fresh artifact: with the
+    // default --out the two paths coincide (the committed repo-root
+    // BENCH_fig13.json), and writing first would make the gate compare
+    // the new artifact against itself -- always passing.
+    const std::string baselinePath = parser.option("--check");
+    json::Value baseline;
+    if (!baselinePath.empty()) {
+        try {
+            baseline = json::parse(readInput(baselinePath));
+        } catch (const json::ParseError &e) {
+            err << "mirage: " << baselinePath << ":" << e.line() << ":"
+                << e.column() << ": " << e.what() << "\n";
+            return kExitFailure;
+        }
+    }
+
+    const Experiment *experiment = findExperiment("bench");
+    MIRAGE_ASSERT(experiment, "bench experiment not registered");
+    err << "mirage: running routing bench ("
+        << (knobs.suiteLimit >= 0 ? std::to_string(knobs.suiteLimit)
+                                  : std::string("all"))
+        << " circuits)...\n";
+    json::Value artifact = runExperiment(*experiment, knobs);
+
+    const std::string path = parser.option("--out");
+    writeOutput(path, artifact.dump(2), out);
+    if (path != "-" && !path.empty())
+        out << "wrote " << path << " (" << artifact["rows"].size()
+            << " circuits)\n";
+
+    if (!baselinePath.empty()) {
+        std::string report;
+        bool ok = checkBenchCounters(artifact, baseline, &report);
+        if (!report.empty())
+            out << report;
+        if (!ok) {
+            err << "mirage: bench counters regressed versus '"
+                << baselinePath << "'\n";
+            return kExitFailure;
+        }
+        out << "bench check OK: no counter regressions versus "
+            << baselinePath << "\n";
+    }
+    return kExitSuccess;
+}
+
 // --- report -----------------------------------------------------------------
 
 int
@@ -502,6 +609,8 @@ usage()
            "file\n"
            "  sweep       run a registered paper experiment, emit a "
            "JSON/CSV artifact\n"
+           "  bench       routing perf trajectory (BENCH_fig13.json); "
+           "--check gates CI\n"
            "  report      render sweep artifacts as markdown tables\n"
            "  version     print the version\n"
            "  help        show this message\n"
@@ -536,6 +645,8 @@ run(const std::vector<std::string> &args, std::ostream &out,
             return cmdTranspile(rest, out, err);
         if (command == "sweep")
             return cmdSweep(rest, out, err);
+        if (command == "bench")
+            return cmdBench(rest, out, err);
         if (command == "report")
             return cmdReport(rest, out, err);
         err << "mirage: unknown command '" << command << "'\n\n"

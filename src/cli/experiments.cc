@@ -666,6 +666,103 @@ runTable3(const SweepKnobs &userKnobs)
     return out;
 }
 
+/**
+ * Routing perf trajectory (`mirage bench`): the Table III suite routed
+ * with the MIRAGE flow, reporting per-circuit routing-phase wall time
+ * (threads=1 and all cores) next to the deterministic hot-path work
+ * counters. The counters are pure functions of (circuit, options,
+ * seed) -- machine-, build-, and thread-invariant -- so the committed
+ * BENCH_fig13.json baseline gives CI a noise-free regression gate
+ * while the wall times track the actual speedups per machine.
+ */
+json::Value
+runBenchRouting(const SweepKnobs &userKnobs)
+{
+    ResolvedKnobs knobs = resolve(userKnobs, 1, 8, 2, 2);
+    const auto grid = topology::CouplingMap::grid(8, 8);
+    const auto &suite = bench::paperBenchmarks();
+    const size_t limit =
+        userKnobs.suiteLimit >= 0
+            ? std::min(size_t(userKnobs.suiteLimit), suite.size())
+            : suite.size();
+
+    json::Value rows = json::Value::array();
+    bool identical = true;
+    double serial_ms = 0, parallel_ms = 0;
+    uint64_t total_evals = 0, total_stalls = 0;
+    for (size_t i = 0; i < limit; ++i) {
+        auto circ = suite[i].make();
+        auto opts =
+            sweepOptions(mirage_pass::Flow::MirageDepth, 0xF13, knobs);
+        opts.threads = 1;
+        auto serial = mirage_pass::transpile(circ, grid, opts);
+        opts.threads = 0; // all hardware threads
+        auto parallel = mirage_pass::transpile(circ, grid, opts);
+        identical = identical &&
+                    circuit::Circuit::bitIdentical(serial.routed,
+                                                   parallel.routed) &&
+                    serial.routingCounters == parallel.routingCounters;
+
+        const auto &c = serial.routingCounters;
+        json::Value row = json::Value::object();
+        row.set("name", suite[i].name);
+        row.set("qubits", suite[i].qubits);
+        row.set("serialMs", serial.routingMs);
+        row.set("parallelMs", parallel.routingMs);
+        row.set("swaps", serial.swapsAdded);
+        row.set("stallSteps", c.stallSteps);
+        row.set("swapCandidates", c.swapCandidates);
+        row.set("heuristicEvals", c.heuristicEvals);
+        row.set("evalsPerStall", c.evalsPerStall());
+        row.set("mirrorOutlooks", c.mirrorOutlooks);
+        row.set("extSetBuilds", c.extSetBuilds);
+        row.set("extSetReuses", c.extSetReuses);
+        rows.push(std::move(row));
+
+        serial_ms += serial.routingMs;
+        parallel_ms += parallel.routingMs;
+        total_evals += c.heuristicEvals;
+        total_stalls += c.stallSteps;
+    }
+
+    json::Value out = json::Value::object();
+    json::Value params = parametersJson(knobs);
+    params.set("circuits", uint64_t(limit));
+    out.set("parameters", std::move(params));
+    json::Value cols = json::Value::array();
+    cols.push(column("name", "name"));
+    cols.push(column("qubits", "qubits"));
+    cols.push(column("serialMs", "route(ms,1T)", 1));
+    cols.push(column("parallelMs", "route(ms,NT)", 1));
+    cols.push(column("swaps", "swaps"));
+    cols.push(column("stallSteps", "stalls"));
+    cols.push(column("heuristicEvals", "h-evals"));
+    cols.push(column("evalsPerStall", "evals/stall", 2));
+    cols.push(column("extSetBuilds", "ext-builds"));
+    cols.push(column("extSetReuses", "ext-reuses"));
+    out.set("columns", std::move(cols));
+    out.set("rows", std::move(rows));
+    json::Value summary = json::Value::object();
+    summary.set("routingSerialMs", serial_ms);
+    summary.set("routingParallelMs", parallel_ms);
+    summary.set("parallelSpeedup",
+                parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+    summary.set("heuristicEvals", total_evals);
+    summary.set("evalsPerStall",
+                total_stalls ? double(total_evals) / double(total_stalls)
+                             : 0.0);
+    summary.set("outputsBitIdentical", identical);
+    summary.set("hardwareThreads", exec::defaultThreads());
+    out.set("summary", std::move(summary));
+    out.set("notes",
+            "Routing-phase wall time of the Table III suite on an 8x8 "
+            "grid (MirageDepth flow), threads=1 vs all cores, with the "
+            "deterministic hot-path counters. Wall times vary by "
+            "machine; the counters and routed circuits must not (the "
+            "`mirage bench --check` CI gate compares counters only).");
+    return out;
+}
+
 } // namespace
 
 SweepKnobs
@@ -724,6 +821,13 @@ experimentRegistry()
          "repo additionally measures the lowered pulse counts "
          "(measured == estimated expected)",
          runTable3},
+        {"bench", "Figure 13 (routing)",
+         "Routing hot-path perf trajectory: wall time + deterministic "
+         "work counters",
+         "paper: mirror-aware routing must stay fast enough to run "
+         "many trials (Section VI-C); tracked here as the committed "
+         "BENCH_fig13.json trajectory",
+         runBenchRouting},
     };
     return registry;
 }
@@ -805,6 +909,81 @@ validateArtifact(const json::Value &artifact, std::string *error)
             return fail("row " + std::to_string(i) + " is not an object");
     }
     return true;
+}
+
+bool
+checkBenchCounters(const json::Value &current, const json::Value &baseline,
+                   std::string *report)
+{
+    auto fail = [report](const std::string &msg) {
+        if (report)
+            *report += msg + "\n";
+        return false;
+    };
+    std::string err;
+    if (!validateArtifact(current, &err))
+        return fail("current artifact invalid: " + err);
+    if (!validateArtifact(baseline, &err))
+        return fail("baseline artifact invalid: " + err);
+    for (const json::Value *a : {&current, &baseline}) {
+        if ((*a)["experiment"].asString() != "bench")
+            return fail("not a 'bench' artifact: " +
+                        (*a)["experiment"].asString());
+    }
+
+    // Counters are only comparable when the routing workload matches;
+    // threads is exempt (counters are thread-invariant by contract).
+    for (const char *key : {"seeds", "layoutTrials", "swapTrials",
+                            "forwardBackwardPasses", "circuits"}) {
+        const json::Value *c = current["parameters"].find(key);
+        const json::Value *b = baseline["parameters"].find(key);
+        if (!c || !b || c->asInt() != b->asInt())
+            return fail(std::string("parameter '") + key +
+                        "' differs from the baseline; regenerate the "
+                        "baseline with matching knobs");
+    }
+
+    bool ok = true;
+    const json::Value &rows = current["rows"];
+    const json::Value &base_rows = baseline["rows"];
+    auto findRow = [&base_rows](const std::string &name) {
+        for (size_t i = 0; i < base_rows.size(); ++i) {
+            const json::Value *n = base_rows.at(i).find("name");
+            if (n && n->isString() && n->asString() == name)
+                return &base_rows.at(i);
+        }
+        return static_cast<const json::Value *>(nullptr);
+    };
+    size_t matched = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const json::Value &row = rows.at(i);
+        const std::string name = row["name"].asString();
+        const json::Value *base = findRow(name);
+        if (!base)
+            continue; // a new circuit has no baseline yet
+        ++matched;
+        for (const char *key : {"heuristicEvals", "extSetBuilds"}) {
+            int64_t now = row[key].asInt();
+            int64_t ref = (*base)[key].asInt();
+            if (now > ref) {
+                ok = false;
+                fail(name + ": " + key + " regressed " +
+                     std::to_string(ref) + " -> " + std::to_string(now));
+            } else if (report && now < ref) {
+                *report += name + ": " + key + " improved " +
+                           std::to_string(ref) + " -> " +
+                           std::to_string(now) + "\n";
+            }
+        }
+    }
+    // Every baseline circuit must still be measured, or a regression
+    // could hide behind a shrunken suite.
+    if (matched < base_rows.size()) {
+        ok = false;
+        fail("current run covers " + std::to_string(matched) + " of " +
+             std::to_string(base_rows.size()) + " baseline circuits");
+    }
+    return ok;
 }
 
 namespace {

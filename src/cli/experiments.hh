@@ -42,6 +42,7 @@ struct SweepKnobs
     int fwdBwd = -1;        ///< layout refinement rounds
     int threads = 1;        ///< trial-grid fan-out (0 = all cores)
     int mcIterations = -1;  ///< Monte-Carlo iterations (Table II)
+    int suiteLimit = -1;    ///< first N Table III circuits (-1 = all)
     std::string cacheDir;   ///< equivalence-library cache dir ("" = off)
 };
 
@@ -87,6 +88,17 @@ json::Value runExperiment(const Experiment &e, const SweepKnobs &knobs);
  * failure returns false and sets *error.
  */
 bool validateArtifact(const json::Value &artifact, std::string *error);
+
+/**
+ * Perf-trajectory gate for `mirage bench --check`: compare a freshly
+ * produced `bench` artifact against a checked-in baseline. Fails (and
+ * explains in *report) when the run parameters differ, a baseline
+ * circuit is missing, or a deterministic work counter (heuristicEvals,
+ * extSetBuilds) regressed -- wall times are never compared, so the
+ * check is noise-free and runs on any machine.
+ */
+bool checkBenchCounters(const json::Value &current,
+                        const json::Value &baseline, std::string *report);
 
 /** Render an artifact as a GitHub-markdown section (table + summary). */
 std::string renderMarkdown(const json::Value &artifact);

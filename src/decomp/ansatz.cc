@@ -69,8 +69,6 @@ buildAnsatz(const Mat4 &basis, int k, const std::vector<double> &params)
     MIRAGE_ASSERT(int(params.size()) == ansatzParamCount(k),
                   "ansatz parameter count mismatch");
     using linalg::kron;
-    using weylu3 = Mat2; // readability alias
-    (void)sizeof(weylu3);
 
     auto layer = [&](int i) {
         const double *p = params.data() + 6 * i;

@@ -27,18 +27,12 @@ solve3(const Vec3 &r0, const Vec3 &r1, const Vec3 &r2, const Vec3 &rhs,
     double det = r0.dot(r1.cross(r2));
     if (std::fabs(det) < 1e-12)
         return false;
-    Vec3 rhsv = rhs;
-    double dx = rhsv.dot(r1.cross(r2));
-    Vec3 rhs1 = {r0.x, r1.x, r2.x};
-    (void)rhs1;
-    // Cramer via column replacement expressed with cross products:
-    // x_i = det(M with column i replaced by rhs) / det(M).
-    // Using the row form: det([rhs r1 r2]) etc. needs care; do it with a
-    // small dense solver instead for clarity.
-    double m[3][4] = {{r0.x, r0.y, r0.z, rhsv.x},
-                      {r1.x, r1.y, r1.z, rhsv.y},
-                      {r2.x, r2.y, r2.z, rhsv.z}};
-    (void)dx;
+    // Despite the name, solve with a small dense Gaussian elimination
+    // rather than literal Cramer column replacement -- clearer and just
+    // as fast at this size.
+    double m[3][4] = {{r0.x, r0.y, r0.z, rhs.x},
+                      {r1.x, r1.y, r1.z, rhs.y},
+                      {r2.x, r2.y, r2.z, rhs.z}};
     for (int col = 0; col < 3; ++col) {
         int pivot = col;
         for (int r = col + 1; r < 3; ++r)

@@ -44,6 +44,31 @@ class Layout
     std::vector<int> p2l_;
 };
 
+/**
+ * RAII hypothetical swap: applies swapPhysical(pa, pb) to a live layout
+ * on construction and undoes it on destruction (a swap is its own
+ * inverse). Lets callers score "what if these wires were swapped"
+ * questions against the real layout without copying it -- the routing
+ * reference scorer uses this instead of the O(n) Layout copy the old
+ * hot path paid per candidate.
+ */
+class ScopedSwap
+{
+  public:
+    ScopedSwap(Layout &layout, int pa, int pb)
+        : layout_(layout), pa_(pa), pb_(pb)
+    {
+        layout_.swapPhysical(pa_, pb_);
+    }
+    ~ScopedSwap() { layout_.swapPhysical(pa_, pb_); }
+    ScopedSwap(const ScopedSwap &) = delete;
+    ScopedSwap &operator=(const ScopedSwap &) = delete;
+
+  private:
+    Layout &layout_;
+    int pa_, pb_;
+};
+
 } // namespace mirage::layout
 
 #endif // MIRAGE_LAYOUT_LAYOUT_HH

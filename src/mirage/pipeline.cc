@@ -7,6 +7,7 @@
 
 #include "mirage/pipeline.hh"
 
+#include <chrono>
 #include <optional>
 
 #include "circuit/consolidate.hh"
@@ -22,8 +23,6 @@ circuit::Circuit
 unrollThreeQubit(const Circuit &input)
 {
     Circuit out(input.numQubits(), input.name());
-    const double pi = linalg::kPi;
-    (void)pi;
     for (const auto &g : input.gates()) {
         if (g.kind == GateKind::CCX) {
             int a = g.qubits[0], b = g.qubits[1], c = g.qubits[2];
@@ -158,8 +157,13 @@ transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
             router::Aggression(opts.fixedAggression)};
     }
 
+    const auto route_start = std::chrono::steady_clock::now();
     router::RouteResult routed =
         router::routeWithTrials(consolidated, coupling, topts);
+    result.routingMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - route_start)
+            .count();
 
     result.routed = std::move(routed.routed);
     result.initial = routed.initial;
@@ -167,6 +171,7 @@ transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
     result.swapsAdded = routed.swapsAdded;
     result.mirrorsAccepted = routed.mirrorsAccepted;
     result.mirrorCandidates = routed.mirrorCandidates;
+    result.routingCounters = routed.counters;
     result.metrics = computeMetrics(result.routed, cost_model);
     lowerResult(result, opts, cost_model, library);
     return result;

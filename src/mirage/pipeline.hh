@@ -81,6 +81,15 @@ struct TranspileResult
     int mirrorsAccepted = 0;
     int mirrorCandidates = 0;
     bool usedVf2 = false;
+    /**
+     * Routing-phase wall time (the routeWithTrials call; zero on the
+     * VF2 short-circuit path) and the deterministic hot-path work
+     * counters summed over the whole trial grid. The counters are
+     * machine- and thread-count-invariant, which is what the perf
+     * trajectory (BENCH_fig13.json) and the CI bench-smoke gate track.
+     */
+    double routingMs = 0;
+    router::RoutingCounters routingCounters;
 
     /** True when TranspileOptions::lowerToBasis ran (fields below set). */
     bool loweredToBasis = false;

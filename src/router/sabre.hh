@@ -45,6 +45,23 @@ enum class PostSelect
     Depth, ///< lowest estimated pulse depth (MIRAGE, Section IV-B)
 };
 
+/**
+ * How swap candidates and mirror outlooks are scored.
+ *
+ * Both modes compute the SABRE heuristic from exact integer distance
+ * sums and combine them with one shared floating-point expression, so
+ * their outputs are bit-identical by construction -- the equivalence is
+ * enforced by test over the whole Table III suite. Delta is the
+ * production path; Naive is the allocation-heavy reference kept as a
+ * runtime option (no #ifdef) so the regression test can always compare
+ * the two inside a single binary.
+ */
+enum class ScoreMode
+{
+    Delta, ///< incremental: per-step base sums + per-candidate deltas
+    Naive, ///< reference: full front/extended rescan per candidate
+};
+
 /** Options for one routing pass. */
 struct PassOptions
 {
@@ -57,6 +74,62 @@ struct PassOptions
      * null only when aggression == None. */
     const monodromy::CostModel *costModel = nullptr;
     uint64_t seed = 1;
+    /** Test hook: swap-candidate/mirror scoring implementation. */
+    ScoreMode scoreMode = ScoreMode::Delta;
+    /**
+     * Fill RouteResult::estDepth/estTotalCost when a cost model is set.
+     * routeWithTrials turns this off for the layout-refinement passes,
+     * whose estimates nobody reads -- an O(routed gates) metric walk
+     * per pass for nothing.
+     */
+    bool estimateMetrics = true;
+};
+
+/**
+ * Deterministic work counters for the routing hot path. All counts are
+ * pure functions of (circuit, coupling, options, seed) -- independent of
+ * thread count, machine, and build type -- which makes them a noise-free
+ * perf-trajectory signal: CI fails when heuristic evaluations regress
+ * versus the checked-in BENCH_fig13.json baseline, no timer involved.
+ */
+struct RoutingCounters
+{
+    uint64_t stallSteps = 0;       ///< SWAP-selection rounds
+    uint64_t swapCandidates = 0;   ///< candidate SWAPs enumerated
+    uint64_t heuristicEvals = 0;   ///< candidate-layout scorings
+                                   ///< (stall candidates + 2 per mirror)
+    uint64_t mirrorOutlooks = 0;   ///< mirror decisions scored
+    uint64_t extSetBuilds = 0;     ///< extended-set BFS walks
+    uint64_t extSetReuses = 0;     ///< stall steps reusing the cached set
+
+    double
+    evalsPerStall() const
+    {
+        return stallSteps ? double(heuristicEvals) / double(stallSteps)
+                          : 0.0;
+    }
+
+    void
+    add(const RoutingCounters &o)
+    {
+        stallSteps += o.stallSteps;
+        swapCandidates += o.swapCandidates;
+        heuristicEvals += o.heuristicEvals;
+        mirrorOutlooks += o.mirrorOutlooks;
+        extSetBuilds += o.extSetBuilds;
+        extSetReuses += o.extSetReuses;
+    }
+
+    bool
+    operator==(const RoutingCounters &o) const
+    {
+        return stallSteps == o.stallSteps &&
+               swapCandidates == o.swapCandidates &&
+               heuristicEvals == o.heuristicEvals &&
+               mirrorOutlooks == o.mirrorOutlooks &&
+               extSetBuilds == o.extSetBuilds &&
+               extSetReuses == o.extSetReuses;
+    }
 };
 
 /** Result of routing a circuit onto a coupling map. */
@@ -71,6 +144,13 @@ struct RouteResult
     /** Estimated pulse depth/cost when a cost model was supplied. */
     double estDepth = 0;
     double estTotalCost = 0;
+    /**
+     * Hot-path work counters. For routePass(): this pass only. For
+     * routeWithTrials(): the SUM over every pass of the whole trial grid
+     * (layout refinement + swap trials), deterministic for any thread
+     * count -- the routing-phase cost of the call, not of the winner.
+     */
+    RoutingCounters counters;
 };
 
 /** One deterministic routing pass from a fixed initial layout. */

@@ -34,25 +34,27 @@ void
 CouplingMap::buildDerived()
 {
     adjacency_.assign(size_t(numQubits_), {});
+    adj_.assign(size_t(numQubits_) * size_t(numQubits_), 0);
     for (const auto &[a, b] : edges_) {
         adjacency_[size_t(a)].push_back(b);
         adjacency_[size_t(b)].push_back(a);
+        adj_[size_t(a) * size_t(numQubits_) + size_t(b)] = 1;
+        adj_[size_t(b) * size_t(numQubits_) + size_t(a)] = 1;
     }
     for (auto &nb : adjacency_)
         std::sort(nb.begin(), nb.end());
 
-    dist_.assign(size_t(numQubits_),
-                 std::vector<int>(size_t(numQubits_), -1));
+    dist_.assign(size_t(numQubits_) * size_t(numQubits_), -1);
     for (int src = 0; src < numQubits_; ++src) {
-        auto &d = dist_[size_t(src)];
-        d[size_t(src)] = 0;
+        int *d = dist_.data() + size_t(src) * size_t(numQubits_);
+        d[src] = 0;
         std::deque<int> queue = {src};
         while (!queue.empty()) {
             int u = queue.front();
             queue.pop_front();
             for (int v : adjacency_[size_t(u)]) {
-                if (d[size_t(v)] < 0) {
-                    d[size_t(v)] = d[size_t(u)] + 1;
+                if (d[v] < 0) {
+                    d[v] = d[u] + 1;
                     queue.push_back(v);
                 }
             }
@@ -61,19 +63,10 @@ CouplingMap::buildDerived()
 }
 
 bool
-CouplingMap::isEdge(int a, int b) const
-{
-    if (a > b)
-        std::swap(a, b);
-    return std::binary_search(edges_.begin(), edges_.end(),
-                              std::make_pair(a, b));
-}
-
-bool
 CouplingMap::isConnected() const
 {
     for (int q = 0; q < numQubits_; ++q) {
-        if (dist_[0][size_t(q)] < 0)
+        if (distance(0, q) < 0)
             return false;
     }
     return numQubits_ > 0;

@@ -10,6 +10,7 @@
 #ifndef MIRAGE_TOPOLOGY_COUPLING_HH
 #define MIRAGE_TOPOLOGY_COUPLING_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,9 +33,27 @@ class CouplingMap
         return adjacency_[size_t(q)];
     }
 
-    bool isEdge(int a, int b) const;
+    /** O(1) adjacency probe (flat matrix; the routing flush loop's
+     * executability test). */
+    bool isEdge(int a, int b) const
+    {
+        return adj_[size_t(a) * size_t(numQubits_) + size_t(b)] != 0;
+    }
     /** Shortest-path distance (hops); -1 if disconnected. */
-    int distance(int a, int b) const { return dist_[size_t(a)][size_t(b)]; }
+    int distance(int a, int b) const
+    {
+        return dist_[size_t(a) * size_t(numQubits_) + size_t(b)];
+    }
+    /**
+     * Row `a` of the flat all-pairs distance table: `distanceRow(a)[b] ==
+     * distance(a, b)`. The table is contiguous row-major storage, so the
+     * routing hot path can hoist one pointer per swap candidate instead
+     * of chasing a vector-of-vectors indirection per lookup.
+     */
+    const int *distanceRow(int a) const
+    {
+        return dist_.data() + size_t(a) * size_t(numQubits_);
+    }
     bool isConnected() const;
     int maxDegree() const;
 
@@ -62,7 +81,10 @@ class CouplingMap
     std::string name_;
     std::vector<std::pair<int, int>> edges_;
     std::vector<std::vector<int>> adjacency_;
-    std::vector<std::vector<int>> dist_;
+    /** Row-major numQubits_ x numQubits_ adjacency matrix. */
+    std::vector<uint8_t> adj_;
+    /** Row-major numQubits_ x numQubits_ all-pairs BFS distances. */
+    std::vector<int> dist_;
 };
 
 } // namespace mirage::topology

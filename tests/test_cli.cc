@@ -366,6 +366,122 @@ TEST(CliSweep, StdoutModeEmitsArtifactJson)
         << schemaError;
 }
 
+// --- bench ------------------------------------------------------------------
+
+namespace {
+
+/** Tiny-knob bench invocation so the test stays fast. */
+std::vector<std::string>
+benchArgs(const std::string &outPath)
+{
+    return {"bench",   "--limit",       "2", "--trials", "2",
+            "--swap-trials", "1", "--fwd-bwd", "1", "--out", outPath};
+}
+
+} // namespace
+
+TEST(CliBench, WritesValidArtifactAndSelfCheckPasses)
+{
+    const std::string path = tempPath("bench_self.json");
+    auto r = runCli(benchArgs(path));
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+
+    json::Value artifact = json::parse(readFile(path));
+    std::string schemaError;
+    EXPECT_TRUE(cli::validateArtifact(artifact, &schemaError))
+        << schemaError;
+    EXPECT_EQ(artifact["experiment"].asString(), "bench");
+    ASSERT_EQ(artifact["rows"].size(), 2u);
+    EXPECT_GT(artifact["rows"].at(0)["heuristicEvals"].asInt(), 0);
+    EXPECT_TRUE(artifact["summary"]["outputsBitIdentical"].asBool());
+
+    // Re-running against the just-written baseline must pass: the
+    // counters are deterministic.
+    auto args = benchArgs(tempPath("bench_self2.json"));
+    args.push_back("--check");
+    args.push_back(path);
+    auto check = runCli(args);
+    EXPECT_EQ(check.code, cli::kExitSuccess) << check.err;
+    EXPECT_NE(check.out.find("bench check OK"), std::string::npos);
+}
+
+TEST(CliBench, CheckFailsOnCounterRegression)
+{
+    const std::string path = tempPath("bench_base.json");
+    auto r = runCli(benchArgs(path));
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+
+    // Doctor the baseline so the current run looks like a regression:
+    // lower the first row's heuristicEvals by one.
+    std::string text = readFile(path);
+    const std::string key = "\"heuristicEvals\": ";
+    size_t start = text.find(key);
+    ASSERT_NE(start, std::string::npos);
+    start += key.size();
+    size_t end = text.find_first_of(",\n", start);
+    long long evals = std::stoll(text.substr(start, end - start));
+    text = text.substr(0, start) + std::to_string(evals - 1) +
+           text.substr(end);
+    const std::string doctored = tempPath("bench_doctored.json");
+    writeFile(doctored, text);
+
+    auto args = benchArgs(tempPath("bench_cur.json"));
+    args.push_back("--check");
+    args.push_back(doctored);
+    auto check = runCli(args);
+    EXPECT_EQ(check.code, cli::kExitFailure);
+    EXPECT_NE(check.err.find("regressed"), std::string::npos) << check.err;
+}
+
+TEST(CliBench, CheckRejectsMismatchedParameters)
+{
+    const std::string path = tempPath("bench_params.json");
+    auto r = runCli(benchArgs(path));
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+
+    auto args = std::vector<std::string>{
+        "bench", "--limit", "2", "--trials", "1", "--swap-trials", "1",
+        "--fwd-bwd", "1", "--out", tempPath("bench_params2.json"),
+        "--check", path};
+    auto check = runCli(args);
+    EXPECT_EQ(check.code, cli::kExitFailure);
+    EXPECT_NE(check.err.find("regressed"), std::string::npos);
+}
+
+TEST(CliBench, CheckReadsBaselineBeforeOverwritingIt)
+{
+    // The default --out IS the committed baseline path, so the gate
+    // must read the baseline before writing the fresh artifact --
+    // otherwise it compares the new file to itself and always passes.
+    const std::string path = tempPath("bench_inplace.json");
+    auto r = runCli(benchArgs(path));
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+
+    // Plant a regression in the baseline, then check IN PLACE.
+    std::string text = readFile(path);
+    const std::string key = "\"heuristicEvals\": ";
+    size_t start = text.find(key);
+    ASSERT_NE(start, std::string::npos);
+    start += key.size();
+    size_t end = text.find_first_of(",\n", start);
+    long long evals = std::stoll(text.substr(start, end - start));
+    writeFile(path, text.substr(0, start) + std::to_string(evals - 1) +
+                        text.substr(end));
+
+    auto args = benchArgs(path); // --out == --check target
+    args.push_back("--check");
+    args.push_back(path);
+    auto check = runCli(args);
+    EXPECT_EQ(check.code, cli::kExitFailure) << check.out;
+    EXPECT_NE(check.err.find("regressed"), std::string::npos) << check.err;
+}
+
+TEST(CliBench, RejectsBadLimit)
+{
+    auto r = runCli({"bench", "--limit", "0"});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+}
+
 TEST(CliReport, RejectsMalformedJsonWithPosition)
 {
     std::string path = tempPath("garbage.json");

@@ -59,6 +59,42 @@ TEST(Coupling, ShortestPathIsValid)
         EXPECT_TRUE(grid.isEdge(path[i], path[i + 1]));
 }
 
+TEST(Coupling, FlatDistanceTableIsConsistent)
+{
+    // The flat row-major table behind distance()/distanceRow() must
+    // agree with first principles: symmetric, zero on the diagonal,
+    // exactly 1 across edges, and distanceRow(a)[b] == distance(a, b).
+    for (const auto &cm :
+         {CouplingMap::grid(3, 4), CouplingMap::heavyHex57(),
+          CouplingMap::ring(7)}) {
+        const int n = cm.numQubits();
+        for (int a = 0; a < n; ++a) {
+            const int *row = cm.distanceRow(a);
+            EXPECT_EQ(row[a], 0);
+            for (int b = 0; b < n; ++b) {
+                EXPECT_EQ(row[b], cm.distance(a, b));
+                EXPECT_EQ(cm.distance(a, b), cm.distance(b, a));
+                EXPECT_EQ(cm.distance(a, b) == 1, cm.isEdge(a, b))
+                    << cm.name() << " " << a << "," << b;
+            }
+        }
+    }
+}
+
+TEST(Coupling, AdjacencyMatrixMatchesEdgeList)
+{
+    CouplingMap hex = CouplingMap::heavyHex57();
+    int edge_count = 0;
+    for (int a = 0; a < hex.numQubits(); ++a)
+        for (int b = a + 1; b < hex.numQubits(); ++b)
+            edge_count += hex.isEdge(a, b) ? 1 : 0;
+    EXPECT_EQ(size_t(edge_count), hex.edges().size());
+    for (const auto &[a, b] : hex.edges()) {
+        EXPECT_TRUE(hex.isEdge(a, b));
+        EXPECT_TRUE(hex.isEdge(b, a));
+    }
+}
+
 TEST(Layout, SwapUpdatesBothMaps)
 {
     Layout lay(4);
