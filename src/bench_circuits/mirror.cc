@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Mirror-circuit generators and the bitstring-success query.
+ *
+ * The mirror-RB bitstring is derived without any simulation: the final
+ * state is D P C |0> with D = C^-1, i.e. (C^dag P C)|0>, and conjugating
+ * a Pauli string through Clifford gates is a linear update of per-qubit
+ * (x, z) bits. The X-support of the conjugated string IS the output
+ * bitstring (phases cannot change which basis state it is).
+ */
+
+#include "bench_circuits/mirror.hh"
+
+#include <numeric>
+#include <string>
+
+#include "circuit/sim_sparse.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "linalg/random_unitary.hh"
+
+namespace mirage::bench {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+// Stream tags for the counter-based RNG (deriveSeed(seed, stream, l)).
+constexpr uint64_t kStreamOneQ = 0x51;
+constexpr uint64_t kStreamEntangle = 0x52;
+constexpr uint64_t kStreamPauli = 0x53;
+constexpr uint64_t kStreamQvLayer = 0x54;
+constexpr uint64_t kStreamFinalX = 0x55;
+
+/** Seeded Fisher-Yates permutation of [0, n). */
+std::vector<int>
+randomPermutation(int n, Rng &rng)
+{
+    std::vector<int> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int i = n - 1; i > 0; --i)
+        std::swap(perm[size_t(i)], perm[size_t(rng.index(uint64_t(i) + 1))]);
+    return perm;
+}
+
+/** The sampled 1Q Clifford alphabet (each is its own inverse except S). */
+constexpr GateKind kOneQCliffords[] = {GateKind::H,  GateKind::S,
+                                       GateKind::Sdg, GateKind::X,
+                                       GateKind::Y,  GateKind::Z};
+
+GateKind
+inverseOf(GateKind k)
+{
+    if (k == GateKind::S)
+        return GateKind::Sdg;
+    if (k == GateKind::Sdg)
+        return GateKind::S;
+    return k; // H, X, Y, Z are involutions
+}
+
+/**
+ * Conjugate the Pauli string tracked by (x, z) through one Clifford
+ * gate g: P -> g P g^dag, phases discarded (they never move the
+ * X-support between basis states, only the sign/i factor in front).
+ */
+void
+conjugatePauli(std::vector<int> &x, std::vector<int> &z, const Gate &g)
+{
+    switch (g.kind) {
+      case GateKind::H: {
+        std::swap(x[size_t(g.qubits[0])], z[size_t(g.qubits[0])]);
+        return;
+      }
+      case GateKind::S:
+      case GateKind::Sdg: {
+        z[size_t(g.qubits[0])] ^= x[size_t(g.qubits[0])];
+        return;
+      }
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+        return; // Paulis commute with Paulis up to phase
+      case GateKind::CX: {
+        const size_t c = size_t(g.qubits[0]), t = size_t(g.qubits[1]);
+        x[t] ^= x[c];
+        z[c] ^= z[t];
+        return;
+      }
+      case GateKind::CZ: {
+        const size_t a = size_t(g.qubits[0]), b = size_t(g.qubits[1]);
+        z[a] ^= x[b];
+        z[b] ^= x[a];
+        return;
+      }
+      case GateKind::SWAP: {
+        const size_t a = size_t(g.qubits[0]), b = size_t(g.qubits[1]);
+        std::swap(x[a], x[b]);
+        std::swap(z[a], z[b]);
+        return;
+      }
+      default:
+        panic("pauli propagation: unsupported gate %s", g.name().c_str());
+    }
+}
+
+} // namespace
+
+MirrorCircuit
+mirrorRb(int n, int layers, uint64_t seed)
+{
+    MIRAGE_ASSERT(n >= 2 && n <= 62, "mirrorRb width out of range: %d", n);
+    MIRAGE_ASSERT(layers >= 1, "mirrorRb needs >= 1 layers");
+
+    Circuit c(n, "mirror_rb_n" + std::to_string(n));
+
+    // First half: record each layer so the inverse half can replay it.
+    std::vector<std::vector<GateKind>> one_q(static_cast<size_t>(layers));
+    std::vector<std::vector<Gate>> entangling(
+        static_cast<size_t>(layers));
+    for (int l = 0; l < layers; ++l) {
+        Rng oneq_rng(deriveSeed(seed, kStreamOneQ, uint64_t(l)));
+        auto &kinds = one_q[size_t(l)];
+        for (int q = 0; q < n; ++q) {
+            kinds.push_back(
+                kOneQCliffords[oneq_rng.index(std::size(kOneQCliffords))]);
+            c.append(circuit::makeGate1(kinds.back(), q));
+        }
+        Rng ent_rng(deriveSeed(seed, kStreamEntangle, uint64_t(l)));
+        auto perm = randomPermutation(n, ent_rng);
+        for (int i = 0; i + 1 < n; i += 2) {
+            GateKind k = ent_rng.uniform() < 0.5 ? GateKind::CX
+                                                 : GateKind::CZ;
+            Gate g = circuit::makeGate2(k, perm[size_t(i)],
+                                        perm[size_t(i) + 1]);
+            entangling[size_t(l)].push_back(g);
+            c.append(g);
+        }
+    }
+
+    // Central Pauli twist.
+    std::vector<int> px(size_t(n), 0), pz(size_t(n), 0);
+    Rng pauli_rng(deriveSeed(seed, kStreamPauli, 0));
+    for (int q = 0; q < n; ++q) {
+        switch (pauli_rng.index(4)) {
+          case 1: c.x(q); px[size_t(q)] = 1; break;
+          case 2: c.y(q); px[size_t(q)] = 1; pz[size_t(q)] = 1; break;
+          case 3: c.z(q); pz[size_t(q)] = 1; break;
+          default: break; // identity
+        }
+    }
+
+    // Inverse half, while conjugating the Pauli through it: the final
+    // state is (second-half operator) P |0>, and pushing P rightwards
+    // past every gate leaves (conjugated P) |0> -- a basis state whose
+    // bits are the conjugated string's X-support.
+    for (int l = layers - 1; l >= 0; --l) {
+        for (const Gate &g : entangling[size_t(l)]) {
+            c.append(g); // CX/CZ are involutions
+            conjugatePauli(px, pz, g);
+        }
+        for (int q = 0; q < n; ++q) {
+            Gate g =
+                circuit::makeGate1(inverseOf(one_q[size_t(l)][size_t(q)]), q);
+            c.append(g);
+            conjugatePauli(px, pz, g);
+        }
+    }
+
+    return MirrorCircuit{std::move(c), std::move(px)};
+}
+
+MirrorCircuit
+mirrorQv(int n, int depth, uint64_t seed)
+{
+    MIRAGE_ASSERT(n >= 2 && n <= 62, "mirrorQv width out of range: %d", n);
+    MIRAGE_ASSERT(depth >= 1, "mirrorQv needs >= 1 layers");
+
+    Circuit c(n, "mirror_qv_n" + std::to_string(n));
+
+    struct Block
+    {
+        int a, b;
+        linalg::Mat4 m;
+    };
+    std::vector<Block> blocks;
+    for (int l = 0; l < depth; ++l) {
+        Rng rng(deriveSeed(seed, kStreamQvLayer, uint64_t(l)));
+        auto perm = randomPermutation(n, rng);
+        for (int i = 0; i + 1 < n; i += 2) {
+            Block b{perm[size_t(i)], perm[size_t(i) + 1],
+                    linalg::randomSU4(rng)};
+            c.unitary(b.a, b.b, b.m);
+            blocks.push_back(std::move(b));
+        }
+    }
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it)
+        c.unitary(it->a, it->b, it->m.dagger());
+
+    // Seeded X twist: guarantees a nontrivial target, so a pipeline
+    // that silently drops everything cannot fake a pass on |0...0>.
+    std::vector<int> bits(size_t(n), 0);
+    Rng x_rng(deriveSeed(seed, kStreamFinalX, 0));
+    for (int q = 0; q < n; ++q) {
+        if (x_rng.uniform() < 0.5) {
+            c.x(q);
+            bits[size_t(q)] = 1;
+        }
+    }
+    if (std::accumulate(bits.begin(), bits.end(), 0) == 0) {
+        c.x(0);
+        bits[0] = 1;
+    }
+
+    return MirrorCircuit{std::move(c), std::move(bits)};
+}
+
+double
+mirrorSuccessProbability(const circuit::Circuit &routed,
+                         const std::vector<int> &logical_to_physical,
+                         const std::vector<int> &bitstring)
+{
+    MIRAGE_ASSERT(bitstring.size() <= logical_to_physical.size(),
+                  "bitstring larger than the layout");
+    circuit::SparseState psi(routed.numQubits());
+    psi.applyCircuit(routed);
+    uint64_t target = 0;
+    for (size_t q = 0; q < bitstring.size(); ++q) {
+        if (bitstring[q]) {
+            const int wire = logical_to_physical[q];
+            MIRAGE_ASSERT(wire >= 0 && wire < routed.numQubits(),
+                          "layout wire %d outside the routed circuit",
+                          wire);
+            target |= uint64_t(1) << wire;
+        }
+    }
+    return psi.probability(target);
+}
+
+} // namespace mirage::bench

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse statevector simulator.
+ *
+ * Stores only the nonzero amplitudes in a hash map keyed by basis index,
+ * so cost is linear in gate count and exponential only in the number of
+ * qubits the circuit actually entangles: a k-qubit logical circuit routed
+ * onto a 57-wire device touches ~2^k amplitudes, not 2^57. This is what
+ * lets the bitstring oracle verify routed+lowered circuits on devices far
+ * past the dense StateVector's 26-qubit ceiling.
+ *
+ * Same index conventions as sim.hh: qubit q is bit q of the basis index
+ * (little-endian), and a two-qubit matrix treats its FIRST operand as the
+ * most significant bit of the 2-bit local index.
+ *
+ * Not a stabilizer simulator: arbitrary (non-Clifford) gates are fine;
+ * only the reachable support costs memory. Amplitudes below the prune
+ * threshold are dropped after each gate so numerically-lowered circuits
+ * (fit error ~1e-8 per block) cannot grow the support without bound.
+ */
+
+#ifndef MIRAGE_CIRCUIT_SIM_SPARSE_HH
+#define MIRAGE_CIRCUIT_SIM_SPARSE_HH
+
+#include <complex>
+#include <cstdint>
+#include <unordered_map>
+
+#include "circuit/circuit.hh"
+
+namespace mirage::circuit {
+
+using linalg::Complex;
+
+/** A sparse statevector on up to 62 qubits, initialized to |0...0>. */
+class SparseState
+{
+  public:
+    explicit SparseState(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    /** Number of stored (nonzero) amplitudes. */
+    size_t support() const { return amps_.size(); }
+
+    /** Amplitude of one basis state (zero when not stored). */
+    Complex amplitude(uint64_t index) const;
+    /** |amplitude(index)|^2. */
+    double probability(uint64_t index) const;
+    double norm() const;
+
+    /**
+     * Amplitudes below this magnitude are dropped after every gate
+     * (default 1e-12: far below any signal, far above the float noise
+     * a lowered circuit's ~1e-8 fit errors leave behind).
+     */
+    void setPruneThreshold(double eps) { pruneEps_ = eps; }
+
+    void applyMat2(int q, const Mat2 &m);
+    void applyMat4(int q_hi, int q_lo, const Mat4 &m);
+    void applyGate(const Gate &g);
+    void applyCircuit(const Circuit &c);
+
+    const std::unordered_map<uint64_t, Complex> &amplitudes() const
+    {
+        return amps_;
+    }
+
+  private:
+    int numQubits_;
+    double pruneEps_ = 1e-12;
+    std::unordered_map<uint64_t, Complex> amps_;
+};
+
+} // namespace mirage::circuit
+
+#endif // MIRAGE_CIRCUIT_SIM_SPARSE_HH

@@ -372,6 +372,9 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
                      "trial-grid worker threads (0 = all cores)");
     parser.addOption("--mc-iters", "N", "",
                      "Monte-Carlo iterations (table2)");
+    parser.addOption("--limit", "N", "",
+                     "first N suite entries / widths (mirror-rb, "
+                     "mirror-qv, matrix; default: all)");
     parser.addOption("--cache", "DIR", "",
                      "equivalence-library cache directory shared across "
                      "runs (table3/fig13)");
@@ -403,7 +406,9 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
         for (const auto &e : experimentRegistry())
             known += (known.empty() ? "" : ", ") + e.name;
         throw UsageError("unknown experiment '" + name +
-                         "' (available: " + known + ")");
+                         "' (available: " + known +
+                         "; run 'mirage sweep --list' for one-line "
+                         "descriptions)");
     }
 
     SweepKnobs knobs;
@@ -421,6 +426,7 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
     knob("--swap-trials", &knobs.swapTrials);
     knob("--fwd-bwd", &knobs.fwdBwd);
     knob("--mc-iters", &knobs.mcIterations);
+    knob("--limit", &knobs.suiteLimit);
     knobs.threads = parser.intOption("--threads");
     if (knobs.threads < 0)
         throw UsageError("--threads must be >= 0 (0 = all cores)");

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bitstring oracle for self-verifying mirror circuits.
+ *
+ * A mirror circuit C' = D * twist * C with D = C^-1 maps |0...0> to a
+ * single known computational basis state. After routing, |0...0> on the
+ * physical wires is invariant under the initial-layout permutation, so
+ * correctness reduces to one sparse simulation of the ROUTED (or
+ * lowered) circuit from the all-zeros state: logical bit q of the ideal
+ * bitstring must appear on physical wire finalLayout(q) with probability
+ * ~1. Unlike the unitary oracle in support/equivalence.hh, which is
+ * exhaustive only up to 6 qubits, this check scales with the circuit's
+ * entangled support (2^k amplitudes for k logical qubits), so it
+ * certifies the whole transpile stack on 57-wire devices.
+ *
+ * Tolerances: an exactly-routed circuit must reproduce the bitstring to
+ * numerical noise (probability >= 1 - 1e-9). A basis-lowered circuit
+ * accumulates per-block fit error; loweringSuccessTolerance converts the
+ * reported root-infidelity sum into a probability slack (errors add
+ * linearly in gate count -- never exponentially). Any real routing bug
+ * scatters the state across ~2^k basis states, missing both bars by many
+ * orders of magnitude, which is what the doctored-pipeline tests pin.
+ */
+
+#ifndef MIRAGE_TESTS_SUPPORT_BITSTRING_ORACLE_HH
+#define MIRAGE_TESTS_SUPPORT_BITSTRING_ORACLE_HH
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_circuits/mirror.hh"
+#include "circuit/circuit.hh"
+#include "layout/layout.hh"
+#include "support/equivalence.hh"
+
+namespace mirage::testsupport {
+
+/** Probability slack for a lowered circuit's measured fit error. */
+inline double
+loweringSuccessTolerance(double root_infidelity_sum)
+{
+    // |amplitude| error e (see loweringTolerance) perturbs |a|^2 by at
+    // most 2e for |a| <= 1; cap so the bar stays meaningfully above the
+    // ~2^-k success probability of a scrambled state.
+    return std::min(0.5, 2.0 * loweringTolerance(root_infidelity_sum));
+}
+
+/** Success probability >= 1 - tol for a routed/lowered mirror circuit. */
+inline ::testing::AssertionResult
+bitstringRecovered(const circuit::Circuit &routed,
+                   const layout::Layout &final_layout,
+                   const std::vector<int> &bitstring, double tol = 1e-9)
+{
+    const double p = bench::mirrorSuccessProbability(
+        routed, final_layout.logicalToPhysical(), bitstring);
+    if (p >= 1.0 - tol)
+        return ::testing::AssertionSuccess()
+               << "success probability " << p;
+    return ::testing::AssertionFailure()
+           << "ideal bitstring recovered with probability " << p
+           << " < " << (1.0 - tol) << " on " << routed.numQubits()
+           << " wires (" << routed.size() << " gates)";
+}
+
+} // namespace mirage::testsupport
+
+#endif // MIRAGE_TESTS_SUPPORT_BITSTRING_ORACLE_HH

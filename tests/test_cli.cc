@@ -12,6 +12,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "bench_circuits/generators.hh"
@@ -320,6 +321,9 @@ TEST(CliSweep, UnknownExperimentListsAvailable)
     EXPECT_EQ(r.code, cli::kExitUsage);
     EXPECT_NE(r.err.find("unknown experiment"), std::string::npos);
     EXPECT_NE(r.err.find("table3"), std::string::npos);
+    EXPECT_NE(r.err.find("mirror-qv"), std::string::npos);
+    // The error teaches discovery: it names the --list flag.
+    EXPECT_NE(r.err.find("sweep --list"), std::string::npos);
 }
 
 TEST(CliSweep, MissingExperimentIsUsageError)
@@ -364,6 +368,58 @@ TEST(CliSweep, StdoutModeEmitsArtifactJson)
     std::string schemaError;
     EXPECT_TRUE(cli::validateArtifact(artifact, &schemaError))
         << schemaError;
+}
+
+TEST(CliSweep, MirrorQvSweepVerifiesBitstringsAboveSixQubits)
+{
+    // --limit 1 keeps this to the smallest width (8 qubits) -- already
+    // strictly past the 6-qubit exhaustive-unitary ceiling.
+    auto r = runCli({"sweep", "--experiment", "mirror-qv", "--limit", "1",
+                     "--stdout"});
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+    json::Value artifact = json::parse(r.out);
+    std::string schemaError;
+    ASSERT_TRUE(cli::validateArtifact(artifact, &schemaError))
+        << schemaError;
+    EXPECT_EQ(artifact["experiment"].asString(), "mirror-qv");
+    ASSERT_EQ(artifact["rows"].size(), 1u);
+    const json::Value &row = artifact["rows"].at(0);
+    EXPECT_GT(row["qubits"].asInt(), 6);
+    EXPECT_TRUE(row["verified"].asBool());
+    EXPECT_GE(row["routedSuccess"].asNumber(), 1.0 - 1e-9);
+    EXPECT_TRUE(artifact["summary"]["allVerified"].asBool());
+}
+
+TEST(CliSweep, MatrixSweepCoversTopologiesAndAggressions)
+{
+    // --limit 2 restricts the suite to the two mirror workloads (they
+    // lead the suite precisely so the smoke slice self-verifies):
+    // 2 workloads x 3 topologies x 4 aggression levels = 24 cells.
+    auto r = runCli({"sweep", "--experiment", "matrix", "--limit", "2",
+                     "--stdout"});
+    ASSERT_EQ(r.code, cli::kExitSuccess) << r.err;
+    json::Value artifact = json::parse(r.out);
+    std::string schemaError;
+    ASSERT_TRUE(cli::validateArtifact(artifact, &schemaError))
+        << schemaError;
+    ASSERT_EQ(artifact["rows"].size(), 24u);
+    EXPECT_EQ(artifact["summary"]["mirrorCells"].asInt(), 24);
+    EXPECT_TRUE(artifact["summary"]["allMirrorCellsVerified"].asBool());
+
+    // Every topology and aggression level appears.
+    std::set<std::string> topologies;
+    std::set<int64_t> aggressions;
+    for (size_t i = 0; i < artifact["rows"].size(); ++i) {
+        const json::Value &row = artifact["rows"].at(i);
+        topologies.insert(row["topology"].asString());
+        aggressions.insert(row["aggression"].asInt());
+        EXPECT_TRUE(row["verified"].asBool())
+            << row["circuit"].asString() << " on "
+            << row["topology"].asString() << " aggression "
+            << row["aggression"].asInt();
+    }
+    EXPECT_EQ(topologies.size(), 3u);
+    EXPECT_EQ(aggressions, (std::set<int64_t>{0, 1, 2, 3}));
 }
 
 // --- bench ------------------------------------------------------------------

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Edge-case tests for common/json: the artifact format every sweep
+ * writes and `mirage report` reads back. Covers deep nesting, escape
+ * sequences inside keys, exact round-tripping of subnormal and huge
+ * doubles, and ParseError line/column pinning on truncated documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <string>
+
+#include "common/json.hh"
+
+using mirage::json::ParseError;
+using mirage::json::Value;
+using mirage::json::parse;
+
+namespace {
+
+/** Parse-dump-parse: the second parse must see the identical document. */
+Value
+reparsed(const Value &v)
+{
+    return parse(v.dump(0));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Structure edge cases.
+
+TEST(JsonEdge, DeeplyNestedArraysRoundTrip)
+{
+    const int depth = 100;
+    std::string doc;
+    for (int i = 0; i < depth; ++i)
+        doc += '[';
+    doc += "42";
+    for (int i = 0; i < depth; ++i)
+        doc += ']';
+
+    Value v = parse(doc);
+    const Value *p = &v;
+    for (int i = 0; i < depth; ++i) {
+        ASSERT_TRUE(p->isArray()) << "depth " << i;
+        ASSERT_EQ(p->size(), 1u);
+        p = &p->at(0);
+    }
+    EXPECT_EQ(p->asInt(), 42);
+
+    // And the dump of the tree re-parses to the same shape.
+    EXPECT_EQ(reparsed(v).dump(0), v.dump(0));
+}
+
+TEST(JsonEdge, EscapeSequencesInKeysAndValues)
+{
+    // Keys get the same escape handling as values -- including \uXXXX.
+    Value v = parse(R"({"a\nb": 1, "tab\there": 2, "A\u00e9": 3,)"
+                    R"( "q\"uote": "back\\slash"})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v["a\nb"].asInt(), 1);
+    EXPECT_EQ(v["tab\there"].asInt(), 2);
+    EXPECT_EQ(v["A\xc3\xa9"].asInt(), 3); // é -> UTF-8 C3 A9
+    EXPECT_EQ(v["q\"uote"].asString(), "back\\slash");
+
+    // Control characters and quotes survive a dump/parse cycle.
+    Value out = Value::object();
+    out.set(std::string("k\x01\n\"\\"), Value("v\t\r"));
+    Value back = reparsed(out);
+    EXPECT_EQ(back[std::string("k\x01\n\"\\")].asString(), "v\t\r");
+}
+
+// ---------------------------------------------------------------------
+// Number round-tripping: artifacts must not silently lose precision.
+
+TEST(JsonEdge, SubnormalAndHugeDoublesRoundTripExactly)
+{
+    const double cases[] = {
+        5e-324,                  // smallest subnormal
+        DBL_MIN,                 // smallest normal
+        DBL_MAX,                 // largest finite
+        1.0 / 3.0,               // needs 17 significant digits
+        0.1,                     // classic non-representable decimal
+        -2.2250738585072011e-308 // near-subnormal boundary, negative
+    };
+    for (double d : cases) {
+        Value v = Value::array();
+        v.push(Value(d));
+        Value back = reparsed(v);
+        const double r = back.at(0).asNumber();
+        EXPECT_EQ(r, d) << "wanted " << d << " got " << r << " from "
+                        << v.dump(0);
+    }
+}
+
+TEST(JsonEdge, IntegralDoublesPrintAsIntegers)
+{
+    Value v = Value::array();
+    v.push(Value(9007199254740991.0)); // 2^53 - 1: largest exact integer
+    v.push(Value(-3.0));
+    EXPECT_EQ(v.dump(0), "[9007199254740991,-3]");
+    Value back = reparsed(v);
+    EXPECT_EQ(back.at(0).asNumber(), 9007199254740991.0);
+}
+
+TEST(JsonEdge, NonFiniteNumbersDumpAsNull)
+{
+    Value v = Value::array();
+    v.push(Value(std::nan("")));
+    v.push(Value(HUGE_VAL));
+    EXPECT_EQ(v.dump(0), "[null,null]");
+}
+
+// ---------------------------------------------------------------------
+// ParseError diagnostics: a truncated artifact must fail with the line
+// and column of the actual problem, not a generic "bad json".
+
+TEST(JsonEdge, TruncatedDocumentPinsLineAndColumn)
+{
+    // Truncation mid-object on line 3: the parser runs off the end.
+    const std::string doc = "{\n  \"rows\": [1, 2],\n  \"summary\": ";
+    try {
+        parse(doc);
+        FAIL() << "truncated document parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_GE(e.column(), int(std::string("  \"summary\": ").size()));
+        EXPECT_NE(std::string(e.what()).find("end of document"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonEdge, UnterminatedStringReportsPosition)
+{
+    try {
+        parse("{\"key\": \"runs off");
+        FAIL() << "unterminated string parsed";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_GT(e.column(), 8);
+        EXPECT_NE(std::string(e.what()).find("unterminated"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonEdge, TruncatedUnicodeEscapeReportsPosition)
+{
+    EXPECT_THROW(parse(R"(["\u00)"), ParseError);
+    EXPECT_THROW(parse(R"(["\uZZZZ"])"), ParseError);
+}
+
+TEST(JsonEdge, TrailingGarbageRejected)
+{
+    try {
+        parse("{} trailing");
+        FAIL() << "trailing characters accepted";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 1);
+        EXPECT_NE(std::string(e.what()).find("trailing"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonEdge, NewlineInsideStringLiteralRejected)
+{
+    EXPECT_THROW(parse("[\"line\nbreak\"]"), ParseError);
+}

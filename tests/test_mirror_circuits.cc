@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the mirror-RB / mirror-QV generators: the predicted
+ * bitstring must match an independent dense simulation at small widths,
+ * generation must be deterministic, and -- the point of the exercise --
+ * the bitstring oracle must certify routed (and lowered) circuits at
+ * widths strictly past the 6-qubit exhaustive-unitary ceiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bench_circuits/mirror.hh"
+#include "circuit/circuit.hh"
+#include "circuit/sim.hh"
+#include "decomp/equivalence.hh"
+#include "mirage/pipeline.hh"
+#include "support/bitstring_oracle.hh"
+#include "support/equivalence.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+using bench::MirrorCircuit;
+using circuit::Circuit;
+using circuit::StateVector;
+using testsupport::bitstringRecovered;
+using topology::CouplingMap;
+
+namespace {
+
+/** Dense-simulation check that |bitstring> is the exact output state. */
+void
+expectBitstringByDenseSim(const MirrorCircuit &mc)
+{
+    const int n = mc.circuit.numQubits();
+    ASSERT_LE(n, 20) << "dense cross-check only feasible at small n";
+    StateVector psi(n);
+    psi.applyCircuit(mc.circuit);
+    uint64_t target = 0;
+    for (int q = 0; q < n; ++q) {
+        if (mc.bitstring[size_t(q)])
+            target |= uint64_t(1) << q;
+    }
+    const double p = std::norm(psi.amplitudes()[target]);
+    EXPECT_NEAR(p, 1.0, 1e-9)
+        << mc.circuit.name() << ": predicted bitstring has probability "
+        << p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The predicted bitstring is correct (independent dense simulation).
+
+TEST(MirrorRb, BitstringMatchesDenseSimAcrossSeeds)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed)
+        expectBitstringByDenseSim(bench::mirrorRb(5, 3, seed));
+    expectBitstringByDenseSim(bench::mirrorRb(2, 1, 0x11));
+    expectBitstringByDenseSim(bench::mirrorRb(6, 5, 0x22));
+}
+
+TEST(MirrorQv, BitstringMatchesDenseSimAcrossSeeds)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed)
+        expectBitstringByDenseSim(bench::mirrorQv(5, 3, seed));
+    expectBitstringByDenseSim(bench::mirrorQv(2, 1, 0x11));
+    expectBitstringByDenseSim(bench::mirrorQv(6, 4, 0x22));
+}
+
+TEST(MirrorQv, TargetBitstringIsNeverAllZeros)
+{
+    // The all-zeros target would also "pass" on a pipeline that emits an
+    // empty circuit, so the generator must always plant at least one X.
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        auto mc = bench::mirrorQv(4, 2, seed);
+        int ones = 0;
+        for (int b : mc.bitstring)
+            ones += b;
+        EXPECT_GE(ones, 1) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed, same circuit, bit for bit.
+
+TEST(MirrorGenerators, DeterministicAcrossCalls)
+{
+    auto a = bench::mirrorRb(9, 3, 0xAB);
+    auto b = bench::mirrorRb(9, 3, 0xAB);
+    EXPECT_TRUE(Circuit::bitIdentical(a.circuit, b.circuit));
+    EXPECT_EQ(a.bitstring, b.bitstring);
+
+    auto c = bench::mirrorQv(9, 4, 0xAB);
+    auto d = bench::mirrorQv(9, 4, 0xAB);
+    EXPECT_TRUE(Circuit::bitIdentical(c.circuit, d.circuit));
+    EXPECT_EQ(c.bitstring, d.bitstring);
+
+    // Different seeds must actually change the circuit.
+    auto e = bench::mirrorQv(9, 4, 0xAC);
+    EXPECT_FALSE(Circuit::bitIdentical(c.circuit, e.circuit));
+}
+
+TEST(MirrorGenerators, WideGenerationIsCheap)
+{
+    // 27 logical qubits: the largest heavy-hex-57 subregion the matrix
+    // sweep targets. Generation and shape only -- no simulation here.
+    auto rb = bench::mirrorRb(27, 3, 0x1D);
+    EXPECT_EQ(rb.circuit.numQubits(), 27);
+    EXPECT_EQ(rb.bitstring.size(), 27u);
+
+    auto qv = bench::mirrorQv(27, 4, 0x1D);
+    EXPECT_EQ(qv.circuit.numQubits(), 27);
+    // depth layers of floor(27/2) SU(4) blocks, mirrored, plus the twist.
+    EXPECT_GT(qv.circuit.size(), 2u * 4u * 13u);
+}
+
+// ---------------------------------------------------------------------
+// The tentpole: routed (and lowered) verification PAST 6 qubits on the
+// 57-wire heavy-hex device, where the exhaustive unitary oracle cannot
+// go. Tagged "verification" in ctest via this binary's label.
+
+TEST(MirrorEndToEnd, RoutedCircuitsVerifyPastSixQubits)
+{
+    auto hex = CouplingMap::heavyHex57();
+    mirage_pass::TranspileOptions opts;
+    opts.flow = mirage_pass::Flow::MirageDepth;
+    opts.tryVf2 = false;
+    opts.layoutTrials = 2;
+    opts.swapTrials = 2;
+    opts.forwardBackwardPasses = 1;
+
+    for (int width : {10, 12, 14}) {
+        auto mc = bench::mirrorQv(width, 3, 0x9A0 + uint64_t(width));
+        auto res = mirage_pass::transpile(mc.circuit, hex, opts);
+        EXPECT_TRUE(bitstringRecovered(res.routed, res.final, mc.bitstring))
+            << "mirror-QV width " << width;
+
+        auto rb = bench::mirrorRb(width, 3, 0x9B0 + uint64_t(width));
+        auto rb_res = mirage_pass::transpile(rb.circuit, hex, opts);
+        EXPECT_TRUE(
+            bitstringRecovered(rb_res.routed, rb_res.final, rb.bitstring))
+            << "mirror-RB width " << width;
+    }
+}
+
+TEST(MirrorEndToEnd, LoweredCircuitVerifiesWithinFitTolerance)
+{
+    auto hex = CouplingMap::heavyHex57();
+    auto mc = bench::mirrorQv(8, 3, 0xFAB);
+
+    decomp::EquivalenceLibrary lib(2);
+    mirage_pass::TranspileOptions opts;
+    opts.flow = mirage_pass::Flow::MirageDepth;
+    opts.tryVf2 = false;
+    opts.layoutTrials = 2;
+    opts.swapTrials = 2;
+    opts.forwardBackwardPasses = 1;
+    opts.lowerToBasis = true;
+    opts.equivalenceLibrary = &lib;
+
+    auto res = mirage_pass::transpile(mc.circuit, hex, opts);
+    ASSERT_TRUE(res.loweredToBasis);
+
+    // Routed: exact. Lowered: within the reported fit error budget.
+    EXPECT_TRUE(bitstringRecovered(res.routed, res.final, mc.bitstring));
+    const double tol = testsupport::loweringSuccessTolerance(
+        res.translateStats.rootInfidelitySum);
+    EXPECT_TRUE(
+        bitstringRecovered(res.lowered, res.final, mc.bitstring, tol));
+}

@@ -104,6 +104,74 @@ TEST(QasmRoundTrip, EveryStandardGateKind)
     expectRoundTrips(c, "allgates");
 }
 
+/**
+ * Property test: random circuits over the full standard gate set must
+ * round-trip gate-for-gate across 100 seeds. Unlike the fixed circuit
+ * above, this explores random operand orders, repeated gates, adjacent
+ * duplicates, and random angles (including negative and multi-pi
+ * values) -- the inputs a hand-written example never covers.
+ */
+TEST(QasmRoundTrip, RandomCircuitPropertyAcrossSeeds)
+{
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        Rng rng(deriveSeed(0x9A5A, 0x77, seed));
+        const int n = 2 + int(rng.index(5)); // 2..6 qubits
+        Circuit c(n, "prop");
+        const int gates = 8 + int(rng.index(25));
+        for (int i = 0; i < gates; ++i) {
+            const int q0 = int(rng.index(uint64_t(n)));
+            int q1 = int(rng.index(uint64_t(n) - 1));
+            if (q1 >= q0)
+                ++q1;
+            const double th = (rng.uniform() - 0.5) * 8.0 * M_PI;
+            switch (rng.index(25)) {
+              case 0: c.h(q0); break;
+              case 1: c.x(q0); break;
+              case 2: c.y(q0); break;
+              case 3: c.z(q0); break;
+              case 4: c.s(q0); break;
+              case 5: c.sdg(q0); break;
+              case 6: c.t(q0); break;
+              case 7: c.tdg(q0); break;
+              case 8: c.sx(q0); break;
+              case 9: c.rx(th, q0); break;
+              case 10: c.ry(th, q0); break;
+              case 11: c.rz(th, q0); break;
+              case 12:
+                c.u3(th, rng.uniform() * 2, rng.uniform() * -3, q0);
+                break;
+              case 13: c.cx(q0, q1); break;
+              case 14: c.cz(q0, q1); break;
+              case 15: c.cp(th, q0, q1); break;
+              case 16: c.crx(th, q0, q1); break;
+              case 17: c.cry(th, q0, q1); break;
+              case 18: c.crz(th, q0, q1); break;
+              case 19: c.swap(q0, q1); break;
+              case 20: c.iswap(q0, q1); break;
+              case 21: c.rxx(th, q0, q1); break;
+              case 22: c.rzz(th, q0, q1); break;
+              default: {
+                if (n < 3) {
+                    c.cx(q0, q1);
+                    break;
+                }
+                int q2 = int(rng.index(uint64_t(n)));
+                while (q2 == q0 || q2 == q1)
+                    q2 = (q2 + 1) % n;
+                if (rng.uniform() < 0.5)
+                    c.ccx(q0, q1, q2);
+                else
+                    c.cswap(q0, q1, q2);
+                break;
+              }
+            }
+        }
+        expectRoundTrips(c, ("seed " + std::to_string(seed)).c_str());
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
 TEST(QasmRoundTrip, ParsedCircuitIsFunctionallyIdentical)
 {
     // Beyond the syntactic gate-for-gate check: the re-parsed circuit
