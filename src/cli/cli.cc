@@ -40,7 +40,8 @@ class CliError : public std::runtime_error
 };
 
 const char *const kTopologyForms =
-    "grid<R>x<C>, line<N>, ring<N>, heavyhex57, alltoall<N>, or auto";
+    "grid<R>x<C>, line<N>, ring<N>, heavyhex57, heavyhex433, "
+    "heavyhex1121, alltoall<N>, or auto";
 
 /** Parse "grid3x3" / "line4" / ... ; `min_qubits` sizes "auto". */
 topology::CouplingMap
@@ -63,6 +64,10 @@ parseTopology(const std::string &spec, int min_qubits)
     }
     if (spec == "heavyhex57")
         return topology::CouplingMap::heavyHex57();
+    if (spec == "heavyhex433")
+        return topology::CouplingMap::heavyHex433();
+    if (spec == "heavyhex1121")
+        return topology::CouplingMap::heavyHex1121();
     if (spec.rfind("grid", 0) == 0) {
         size_t x = spec.find('x', 4);
         if (x != std::string::npos) {
@@ -165,7 +170,8 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
     ArgumentParser parser("transpile", "<input.qasm | ->");
     parser.addOption("--topology", "SPEC", "auto",
                      "device coupling map: grid<R>x<C>, line<N>, "
-                     "ring<N>, heavyhex57, alltoall<N>, auto");
+                     "ring<N>, heavyhex57, heavyhex433, heavyhex1121, "
+                     "alltoall<N>, auto");
     parser.addOption("--flow", "NAME", "mirage",
                      "pipeline flow: sabre, mirage-swaps, mirage");
     parser.addOption("--trials", "N", "8", "independent layout trials");
@@ -478,8 +484,13 @@ cmdBench(const std::vector<std::string> &args, std::ostream &out,
          std::ostream &err)
 {
     ArgumentParser parser("bench", "[--check <baseline.json>]");
-    parser.addOption("--out", "FILE", "BENCH_fig13.json",
-                     "artifact path ('-' for stdout)");
+    parser.addOption("--experiment", "NAME", "bench",
+                     "counter-gated experiment: bench (Table III routing, "
+                     "BENCH_fig13.json) or fig12-large (1000+ qubit sparse "
+                     "topologies, BENCH_large_topo.json)");
+    parser.addOption("--out", "FILE", "",
+                     "artifact path ('-' for stdout; default: the "
+                     "experiment's committed baseline name)");
     parser.addOption("--check", "FILE", "",
                      "baseline artifact; exit 1 if a deterministic "
                      "counter (heuristicEvals, extSetBuilds) regressed");
@@ -513,6 +524,12 @@ cmdBench(const std::vector<std::string> &args, std::ostream &out,
     knob("--fwd-bwd", &knobs.fwdBwd, 1);
     knob("--limit", &knobs.suiteLimit, 1);
 
+    const std::string experimentName = parser.option("--experiment");
+    if (experimentName != "bench" && experimentName != "fig12-large")
+        throw UsageError("--experiment must be 'bench' or 'fig12-large' "
+                         "(counter-gated experiments), got '" +
+                         experimentName + "'");
+
     // Read the baseline BEFORE writing the fresh artifact: with the
     // default --out the two paths coincide (the committed repo-root
     // BENCH_fig13.json), and writing first would make the gate compare
@@ -529,15 +546,18 @@ cmdBench(const std::vector<std::string> &args, std::ostream &out,
         }
     }
 
-    const Experiment *experiment = findExperiment("bench");
+    const Experiment *experiment = findExperiment(experimentName);
     MIRAGE_ASSERT(experiment, "bench experiment not registered");
-    err << "mirage: running routing bench ("
+    err << "mirage: running " << experimentName << " bench ("
         << (knobs.suiteLimit >= 0 ? std::to_string(knobs.suiteLimit)
                                   : std::string("all"))
         << " circuits)...\n";
     json::Value artifact = runExperiment(*experiment, knobs);
 
-    const std::string path = parser.option("--out");
+    std::string path = parser.option("--out");
+    if (path.empty())
+        path = experimentName == "bench" ? "BENCH_fig13.json"
+                                         : "BENCH_large_topo.json";
     writeOutput(path, artifact.dump(2), out);
     if (path != "-" && !path.empty())
         out << "wrote " << path << " (" << artifact["rows"].size()

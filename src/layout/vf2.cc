@@ -66,7 +66,8 @@ struct Vf2State
             }
         }
         if (anchor >= 0) {
-            candidates = coupling->neighbors(anchor);
+            auto nbrs = coupling->neighbors(anchor);
+            candidates.assign(nbrs.begin(), nbrs.end());
         } else {
             candidates.resize(static_cast<size_t>(coupling->numQubits()));
             std::iota(candidates.begin(), candidates.end(), 0);

@@ -698,6 +698,27 @@ struct PassState
  * later consumer would compute), so the routed output carries coords
  * and per-pass metric computation never re-runs the eigensolver.
  */
+/**
+ * Route-entry fail-fast: on a disconnected device, distance() returns
+ * the -1 sentinel for cross-component pairs, which would otherwise flow
+ * silently into the heuristic's integer score sums and corrupt every
+ * SWAP decision. Refuse up front with a diagnostic instead.
+ */
+void
+requireRoutableTopology(const CouplingMap &coupling)
+{
+    if (coupling.numQubits() <= 0)
+        throw topology::TopologyError(
+            "cannot route on empty coupling map '" + coupling.name() + "'");
+    if (coupling.numComponents() != 1)
+        throw topology::TopologyError(
+            "cannot route on disconnected coupling map '" + coupling.name() +
+            "': " + std::to_string(coupling.numQubits()) + " qubits in " +
+            std::to_string(coupling.numComponents()) +
+            " connected components; SABRE/MIRAGE distance sums are "
+            "undefined across components (distance() == -1)");
+}
+
 DagCircuit
 liftToDag(const Circuit &circuit, const CouplingMap &coupling,
           bool annotate_coords)
@@ -751,6 +772,7 @@ RouteResult
 routePass(const Circuit &circuit, const CouplingMap &coupling,
           const Layout &initial, const PassOptions &opts)
 {
+    requireRoutableTopology(coupling);
     PassScratch scratch;
     DagCircuit dag =
         liftToDag(circuit, coupling, opts.costModel != nullptr);
@@ -817,6 +839,7 @@ RouteResult
 routeWithTrials(const Circuit &circuit, const CouplingMap &coupling,
                 const TrialOptions &opts)
 {
+    requireRoutableTopology(coupling);
     MIRAGE_ASSERT(opts.layoutTrials > 0 && opts.swapTrials > 0,
                   "need at least one layout and one swap trial");
     if (opts.postSelect == PostSelect::Depth) {

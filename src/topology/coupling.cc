@@ -1,94 +1,360 @@
 /**
  * @file
- * Coupling map construction (line, ring, grid, heavy-hex,
- * all-to-all) and BFS all-pairs distances.
+ * Coupling map construction (line, ring, grid, heavy-hex, all-to-all),
+ * CSR adjacency, and BFS distances: precomputed all-pairs tables in
+ * dense mode, on-demand rows behind a per-thread LRU cache plus ALT
+ * landmark lower bounds in sparse mode.
  */
 
 #include "topology/coupling.hh"
 
 #include <algorithm>
-#include <deque>
-
-#include "common/logging.hh"
+#include <atomic>
+#include <limits>
+#include <list>
+#include <unordered_map>
 
 namespace mirage::topology {
+
+namespace {
+
+std::string
+edgeStr(int a, int b)
+{
+    return "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+}
+
+/** Next topologyId_ for a sparse map. Never reused, so a row cached for
+ * a destroyed map can never be served to a different topology. */
+std::atomic<uint64_t> g_nextTopologyId{1};
+
+/** How many landmark rows a sparse map precomputes for
+ * distanceLowerBound. 8 rows at n=1121 is ~36 KB -- O(n), not O(n^2). */
+constexpr int kNumLandmarks = 8;
+
+// --- per-thread LRU cache of BFS distance rows (sparse mode) ----------
+//
+// Thread-local by design: CouplingMap is shared read-only across the
+// routing trial threads (exec::parallelFor), so a shared mutable cache
+// would need locking on the hottest lookup in the router and evictions
+// could dangle row pointers held by another thread. Per-thread caches
+// are lock-free, TSan-clean, and bounded at capacity * n * 4 bytes per
+// routing thread.
+
+struct RowKey
+{
+    uint64_t id;
+    int src;
+    bool operator==(const RowKey &o) const
+    {
+        return id == o.id && src == o.src;
+    }
+};
+
+struct RowKeyHash
+{
+    size_t operator()(const RowKey &k) const
+    {
+        uint64_t h = k.id * 0x9E3779B97F4A7C15ull ^ uint64_t(uint32_t(k.src));
+        return size_t(h ^ (h >> 32));
+    }
+};
+
+struct RowCacheState
+{
+    struct Entry
+    {
+        RowKey key{0, 0};
+        std::vector<int> row;
+    };
+    /** Front = most recently used. */
+    std::list<Entry> lru;
+    std::unordered_map<RowKey, std::list<Entry>::iterator, RowKeyHash> index;
+    size_t capacity = 256;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    void evictDownTo(size_t limit)
+    {
+        while (lru.size() > limit) {
+            index.erase(lru.back().key);
+            lru.pop_back();
+            ++evictions;
+        }
+    }
+};
+
+thread_local RowCacheState t_rowCache;
+
+/** Floor for setRowCacheCapacity: deltaSums in sabre.cc holds two rows
+ * at once, so fetching the second must never evict the first. */
+constexpr size_t kMinRowCacheCapacity = 8;
+
+} // namespace
 
 CouplingMap::CouplingMap(int num_qubits,
                          std::vector<std::pair<int, int>> edges,
                          std::string name)
     : numQubits_(num_qubits), name_(std::move(name)), edges_(std::move(edges))
 {
+    if (numQubits_ < 0)
+        throw TopologyError("coupling map '" + name_ +
+                            "': negative qubit count " +
+                            std::to_string(numQubits_));
     for (auto &[a, b] : edges_) {
-        MIRAGE_ASSERT(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
-                      "edge (%d,%d) out of range", a, b);
-        MIRAGE_ASSERT(a != b, "self-loop edge on qubit %d", a);
+        if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+            throw TopologyError("coupling map '" + name_ + "': edge " +
+                                edgeStr(a, b) + " out of range [0, " +
+                                std::to_string(numQubits_) + ")");
+        if (a == b)
+            throw TopologyError("coupling map '" + name_ +
+                                "': self-loop edge on qubit " +
+                                std::to_string(a));
         if (a > b)
             std::swap(a, b);
     }
     std::sort(edges_.begin(), edges_.end());
-    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-    buildDerived();
+    auto dup = std::adjacent_find(edges_.begin(), edges_.end());
+    if (dup != edges_.end())
+        throw TopologyError("coupling map '" + name_ + "': duplicate edge " +
+                            edgeStr(dup->first, dup->second));
+    buildDerived(/*force_sparse=*/false);
 }
 
 void
-CouplingMap::buildDerived()
+CouplingMap::buildDerived(bool force_sparse)
 {
-    adjacency_.assign(size_t(numQubits_), {});
-    adj_.assign(size_t(numQubits_) * size_t(numQubits_), 0);
-    for (const auto &[a, b] : edges_) {
-        adjacency_[size_t(a)].push_back(b);
-        adjacency_[size_t(b)].push_back(a);
-        adj_[size_t(a) * size_t(numQubits_) + size_t(b)] = 1;
-        adj_[size_t(b) * size_t(numQubits_) + size_t(a)] = 1;
-    }
-    for (auto &nb : adjacency_)
-        std::sort(nb.begin(), nb.end());
+    const size_t n = size_t(numQubits_);
+    sparse_ = force_sparse || numQubits_ > kDenseQubitThreshold;
 
-    dist_.assign(size_t(numQubits_) * size_t(numQubits_), -1);
-    for (int src = 0; src < numQubits_; ++src) {
-        int *d = dist_.data() + size_t(src) * size_t(numQubits_);
-        d[src] = 0;
-        std::deque<int> queue = {src};
-        while (!queue.empty()) {
-            int u = queue.front();
-            queue.pop_front();
-            for (int v : adjacency_[size_t(u)]) {
-                if (d[v] < 0) {
-                    d[v] = d[u] + 1;
+    // CSR adjacency (both modes). Edges are sorted and unique; rows come
+    // out sorted because we fill ascending-neighbor per endpoint, then
+    // sort each row (the b->a direction arrives out of order).
+    csrOffsets_.assign(n + 1, 0);
+    for (const auto &[a, b] : edges_) {
+        ++csrOffsets_[size_t(a) + 1];
+        ++csrOffsets_[size_t(b) + 1];
+    }
+    for (size_t q = 0; q < n; ++q)
+        csrOffsets_[q + 1] += csrOffsets_[q];
+    csrNeighbors_.assign(2 * edges_.size(), 0);
+    std::vector<int> cursor(csrOffsets_.begin(), csrOffsets_.end() - 1);
+    for (const auto &[a, b] : edges_) {
+        csrNeighbors_[size_t(cursor[size_t(a)]++)] = b;
+        csrNeighbors_[size_t(cursor[size_t(b)]++)] = a;
+    }
+    for (size_t q = 0; q < n; ++q)
+        std::sort(csrNeighbors_.begin() + csrOffsets_[q],
+                  csrNeighbors_.begin() + csrOffsets_[q + 1]);
+
+    // Connected components, O(n + m): the route-entry fail-fast and the
+    // shortestPath disconnected check key off these ids in O(1).
+    component_.assign(n, -1);
+    numComponents_ = 0;
+    std::vector<int> queue;
+    queue.reserve(n);
+    for (int root = 0; root < numQubits_; ++root) {
+        if (component_[size_t(root)] >= 0)
+            continue;
+        int comp = numComponents_++;
+        component_[size_t(root)] = comp;
+        queue.clear();
+        queue.push_back(root);
+        for (size_t head = 0; head < queue.size(); ++head) {
+            for (int v : neighbors(queue[head])) {
+                if (component_[size_t(v)] < 0) {
+                    component_[size_t(v)] = comp;
                     queue.push_back(v);
                 }
             }
         }
     }
+
+    if (!sparse_) {
+        // Dense fast path: flat adjacency matrix + all-pairs distances.
+        adj_.assign(n * n, 0);
+        for (const auto &[a, b] : edges_) {
+            adj_[size_t(a) * n + size_t(b)] = 1;
+            adj_[size_t(b) * n + size_t(a)] = 1;
+        }
+        dist_.assign(n * n, -1);
+        for (int src = 0; src < numQubits_; ++src)
+            bfsFrom(src, dist_.data() + size_t(src) * n);
+        topologyId_ = 0;
+        landmarks_.clear();
+        landmarkDist_.clear();
+        return;
+    }
+
+    // Sparse mode: no O(n^2) tables. Distance rows are BFS-on-demand via
+    // the per-thread cache; here we only pick landmarks for the ALT
+    // lower bound, by farthest-point sampling (classic ALT placement:
+    // spread landmarks toward the periphery so |d(L,a) - d(L,b)| is
+    // tight along lattice axes). Deterministic: seeded at qubit 0,
+    // ties broken by lowest index.
+    adj_.clear();
+    adj_.shrink_to_fit();
+    dist_.clear();
+    dist_.shrink_to_fit();
+    topologyId_ = g_nextTopologyId.fetch_add(1, std::memory_order_relaxed);
+
+    landmarks_.clear();
+    landmarkDist_.clear();
+    const int k = std::min(kNumLandmarks, numQubits_);
+    if (k <= 0)
+        return;
+    landmarkDist_.assign(size_t(k) * n, -1);
+    // minDist[q] = min over chosen landmarks of d(L, q); unreachable
+    // counts as "infinitely far" so later landmarks seed every component.
+    std::vector<int> minDist(n, std::numeric_limits<int>::max());
+    int next = 0;
+    for (int li = 0; li < k; ++li) {
+        landmarks_.push_back(next);
+        int *row = landmarkDist_.data() + size_t(li) * n;
+        bfsFrom(next, row);
+        int best = -1;
+        next = 0;
+        for (size_t q = 0; q < n; ++q) {
+            int d = row[q] < 0 ? std::numeric_limits<int>::max() : row[q];
+            minDist[q] = std::min(minDist[q], d);
+            if (minDist[q] > best) {
+                best = minDist[q];
+                next = int(q);
+            }
+        }
+    }
 }
 
-bool
-CouplingMap::isConnected() const
+void
+CouplingMap::bfsFrom(int src, int *dist) const
 {
-    for (int q = 0; q < numQubits_; ++q) {
-        if (distance(0, q) < 0)
-            return false;
+    dist[src] = 0;
+    std::vector<int> queue;
+    queue.reserve(size_t(numQubits_));
+    queue.push_back(src);
+    for (size_t head = 0; head < queue.size(); ++head) {
+        int u = queue[head];
+        for (int v : neighbors(u)) {
+            if (dist[v] < 0) {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
     }
-    return numQubits_ > 0;
+}
+
+const int *
+CouplingMap::sparseRow(int a) const
+{
+    RowCacheState &c = t_rowCache;
+    const RowKey key{topologyId_, a};
+    auto it = c.index.find(key);
+    if (it != c.index.end()) {
+        ++c.hits;
+        c.lru.splice(c.lru.begin(), c.lru, it->second);
+        return it->second->row.data();
+    }
+    ++c.misses;
+    // Recycle the LRU entry's row storage instead of reallocating.
+    std::list<RowCacheState::Entry> node;
+    if (c.lru.size() >= c.capacity) {
+        auto last = std::prev(c.lru.end());
+        c.index.erase(last->key);
+        node.splice(node.begin(), c.lru, last);
+        ++c.evictions;
+    } else {
+        node.emplace_back();
+    }
+    RowCacheState::Entry &e = node.front();
+    e.key = key;
+    e.row.assign(size_t(numQubits_), -1);
+    bfsFrom(a, e.row.data());
+    c.lru.splice(c.lru.begin(), node);
+    c.index[key] = c.lru.begin();
+    return c.lru.front().row.data();
+}
+
+int
+CouplingMap::distanceLowerBound(int a, int b) const
+{
+    if (!sparse_)
+        return distance(a, b);
+    if (!sameComponent(a, b))
+        return -1;
+    if (a == b)
+        return 0;
+    // ALT: d(a,b) >= |d(L,a) - d(L,b)| by the triangle inequality.
+    // Adjacent qubits give >= 1 trivially.
+    int best = 1;
+    const size_t n = size_t(numQubits_);
+    for (size_t li = 0; li < landmarks_.size(); ++li) {
+        const int *row = landmarkDist_.data() + li * n;
+        const int da = row[a];
+        const int db = row[b];
+        if (da < 0 || db < 0)
+            continue; // landmark in another component
+        best = std::max(best, da < db ? db - da : da - db);
+    }
+    return best;
 }
 
 int
 CouplingMap::maxDegree() const
 {
     int best = 0;
-    for (const auto &nb : adjacency_)
-        best = std::max(best, int(nb.size()));
+    for (int q = 0; q < numQubits_; ++q)
+        best = std::max(best, int(neighbors(q).size()));
     return best;
+}
+
+CouplingMap
+CouplingMap::asSparse() const
+{
+    CouplingMap m;
+    m.numQubits_ = numQubits_;
+    m.name_ = name_;
+    m.edges_ = edges_;
+    m.buildDerived(/*force_sparse=*/true);
+    return m;
+}
+
+size_t
+CouplingMap::derivedTableBytes() const
+{
+    return csrOffsets_.capacity() * sizeof(int) +
+           csrNeighbors_.capacity() * sizeof(int) +
+           component_.capacity() * sizeof(int) +
+           adj_.capacity() * sizeof(uint8_t) +
+           dist_.capacity() * sizeof(int) +
+           landmarks_.capacity() * sizeof(int) +
+           landmarkDist_.capacity() * sizeof(int);
 }
 
 std::vector<int>
 CouplingMap::shortestPath(int a, int b) const
 {
+    if (a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_)
+        throw TopologyError("shortestPath(" + std::to_string(a) + ", " +
+                            std::to_string(b) + ") out of range on '" +
+                            name_ + "' (" + std::to_string(numQubits_) +
+                            " qubits)");
+    if (!sameComponent(a, b))
+        throw TopologyError(
+            "no path between qubits " + std::to_string(a) + " and " +
+            std::to_string(b) + " on '" + name_ +
+            "': they are in different connected components (" +
+            std::to_string(componentOf(a)) + " vs " +
+            std::to_string(componentOf(b)) + ")");
+    // Walk b -> a through any neighbor one hop closer to a. One row
+    // fetch covers the whole reconstruction in either storage mode, and
+    // both modes walk identical rows, so the returned path is identical.
+    const int *row = distanceRow(a);
     std::vector<int> path = {b};
     int cur = b;
     while (cur != a) {
-        for (int nb : adjacency_[size_t(cur)]) {
-            if (distance(a, nb) == distance(a, cur) - 1) {
+        for (int nb : neighbors(cur)) {
+            if (row[nb] == row[cur] - 1) {
                 cur = nb;
                 path.push_back(cur);
                 break;
@@ -99,9 +365,44 @@ CouplingMap::shortestPath(int a, int b) const
     return path;
 }
 
+CouplingMap::RowCacheStats
+CouplingMap::rowCacheStats()
+{
+    const RowCacheState &c = t_rowCache;
+    RowCacheStats s;
+    s.rows = c.lru.size();
+    s.capacity = c.capacity;
+    for (const auto &e : c.lru)
+        s.bytes += e.row.capacity() * sizeof(int);
+    s.hits = c.hits;
+    s.misses = c.misses;
+    s.evictions = c.evictions;
+    return s;
+}
+
+void
+CouplingMap::setRowCacheCapacity(size_t rows)
+{
+    RowCacheState &c = t_rowCache;
+    c.capacity = std::max(rows, kMinRowCacheCapacity);
+    c.evictDownTo(c.capacity);
+}
+
+void
+CouplingMap::clearRowCache()
+{
+    RowCacheState &c = t_rowCache;
+    c.lru.clear();
+    c.index.clear();
+    c.hits = c.misses = c.evictions = 0;
+}
+
 CouplingMap
 CouplingMap::line(int n)
 {
+    if (n <= 0)
+        throw TopologyError("line(" + std::to_string(n) +
+                            "): qubit count must be positive");
     std::vector<std::pair<int, int>> e;
     for (int i = 0; i + 1 < n; ++i)
         e.emplace_back(i, i + 1);
@@ -111,6 +412,9 @@ CouplingMap::line(int n)
 CouplingMap
 CouplingMap::ring(int n)
 {
+    if (n <= 0)
+        throw TopologyError("ring(" + std::to_string(n) +
+                            "): qubit count must be positive");
     auto cm = line(n);
     auto e = cm.edges();
     if (n > 2)
@@ -121,6 +425,10 @@ CouplingMap::ring(int n)
 CouplingMap
 CouplingMap::grid(int rows, int cols)
 {
+    if (rows <= 0 || cols <= 0)
+        throw TopologyError("grid(" + std::to_string(rows) + ", " +
+                            std::to_string(cols) +
+                            "): dimensions must be positive");
     std::vector<std::pair<int, int>> e;
     auto id = [cols](int r, int c) { return r * cols + c; };
     for (int r = 0; r < rows; ++r) {
@@ -139,6 +447,9 @@ CouplingMap::grid(int rows, int cols)
 CouplingMap
 CouplingMap::allToAll(int n)
 {
+    if (n <= 0)
+        throw TopologyError("allToAll(" + std::to_string(n) +
+                            "): qubit count must be positive");
     std::vector<std::pair<int, int>> e;
     for (int i = 0; i < n; ++i)
         for (int j = i + 1; j < n; ++j)
@@ -149,6 +460,10 @@ CouplingMap::allToAll(int n)
 CouplingMap
 CouplingMap::heavyHex(int rows, int row_width)
 {
+    if (rows <= 0 || row_width <= 0)
+        throw TopologyError("heavyHex(" + std::to_string(rows) + ", " +
+                            std::to_string(row_width) +
+                            "): dimensions must be positive");
     // Row qubits 0 .. rows*row_width-1 laid out row-major and connected in
     // lines; bridge qubits between consecutive rows at columns congruent
     // to 0 (even gaps) or 2 (odd gaps) mod 4, which tiles the plane with
@@ -186,6 +501,41 @@ CouplingMap::heavyHex57()
     e.emplace_back(2, n);             // above row 0, column 2
     e.emplace_back(4 * 9 + 4, n + 1); // below row 4, column 4
     return CouplingMap(n + 2, std::move(e), "heavyhex-57");
+}
+
+CouplingMap
+CouplingMap::heavyHex433()
+{
+    // IBM Osprey scale: 15 rows x 23 row qubits = 345 plus 14 gaps x 6
+    // bridges = 84 -> 429; four boundary flag qubits on degree-2 sites
+    // (row 0 and row 14 at odd columns, which never host a bridge) bring
+    // it to 433 with max degree still 3. Over kDenseQubitThreshold, so
+    // this builds in sparse mode.
+    CouplingMap base = heavyHex(15, 23);
+    int n = base.numQubits();
+    auto e = base.edges();
+    e.emplace_back(1, n);               // above row 0, column 1
+    e.emplace_back(3, n + 1);           // above row 0, column 3
+    e.emplace_back(14 * 23 + 1, n + 2); // below row 14, column 1
+    e.emplace_back(14 * 23 + 3, n + 3); // below row 14, column 3
+    return CouplingMap(n + 4, std::move(e), "heavyhex-433");
+}
+
+CouplingMap
+CouplingMap::heavyHex1121()
+{
+    // IBM Condor scale: 25 rows x 36 row qubits = 900 plus 24 gaps x 9
+    // bridges = 216 -> 1116; five boundary flag qubits on degree-2 sites
+    // bring it to 1121 with max degree still 3. Sparse mode.
+    CouplingMap base = heavyHex(25, 36);
+    int n = base.numQubits();
+    auto e = base.edges();
+    e.emplace_back(1, n);               // above row 0, column 1
+    e.emplace_back(3, n + 1);           // above row 0, column 3
+    e.emplace_back(5, n + 2);           // above row 0, column 5
+    e.emplace_back(24 * 36 + 1, n + 3); // below row 24, column 1
+    e.emplace_back(24 * 36 + 3, n + 4); // below row 24, column 3
+    return CouplingMap(n + 5, std::move(e), "heavyhex-1121");
 }
 
 } // namespace mirage::topology

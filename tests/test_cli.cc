@@ -605,9 +605,45 @@ TEST(CliReport, RejectsMissingRequiredKeys)
 TEST(ExperimentRegistry, CoversTheReproduciblePaperArtifacts)
 {
     for (const char *name : {"fig8", "fig10", "fig11", "fig12", "fig13",
-                             "table1", "table2", "table3"})
+                             "table1", "table2", "table3", "fig12-large"})
         EXPECT_NE(cli::findExperiment(name), nullptr) << name;
     EXPECT_EQ(cli::findExperiment("fig7"), nullptr);
+}
+
+TEST(ExperimentRegistry, Fig12LargeGatesSparseMemoryAndCounters)
+{
+    // One circuit per device keeps this to CI-test territory; the
+    // artifact must be schema-valid and its own counter/memory gate
+    // must accept it (checkBenchCounters is what CI's bench job runs).
+    cli::SweepKnobs knobs;
+    knobs.suiteLimit = 1;
+    json::Value artifact =
+        cli::runExperiment(*cli::findExperiment("fig12-large"), knobs);
+    std::string schemaError;
+    ASSERT_TRUE(cli::validateArtifact(artifact, &schemaError))
+        << schemaError;
+    EXPECT_EQ(artifact["rows"].size(), 3u); // one per device
+    EXPECT_TRUE(artifact["summary"]["memorySubQuadratic"].asBool());
+    EXPECT_TRUE(artifact["summary"]["landmarksAdmissible"].asBool());
+    std::string report;
+    EXPECT_TRUE(cli::checkBenchCounters(artifact, artifact, &report))
+        << report;
+}
+
+TEST(CliTranspile, RoutesOnLargeSparseTopology)
+{
+    // End-to-end CLI on a 433-qubit sparse device: route a small QASM
+    // circuit and check the reported topology block.
+    std::string path = tempPath("ghz5.qasm");
+    writeFile(path, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[5];\n"
+                    "h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"
+                    "cx q[2],q[3];\ncx q[3],q[4];\n");
+    auto r = runCli({"transpile", path, "--topology", "heavyhex433",
+                     "--trials", "1", "--swap-trials", "1", "--fwd-bwd",
+                     "1", "--output", "-"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("\"heavyhex-433\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"qubits\": 433"), std::string::npos);
 }
 
 TEST(ExperimentRegistry, Table1MatchesPaperScores)

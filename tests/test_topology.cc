@@ -95,6 +95,103 @@ TEST(Coupling, AdjacencyMatrixMatchesEdgeList)
     }
 }
 
+TEST(Coupling, GeneratorsRejectDegenerateSizes)
+{
+    EXPECT_THROW(CouplingMap::line(0), TopologyError);
+    EXPECT_THROW(CouplingMap::line(-3), TopologyError);
+    EXPECT_THROW(CouplingMap::ring(0), TopologyError);
+    EXPECT_THROW(CouplingMap::ring(-1), TopologyError);
+    EXPECT_THROW(CouplingMap::grid(0, 5), TopologyError);
+    EXPECT_THROW(CouplingMap::grid(3, 0), TopologyError);
+    EXPECT_THROW(CouplingMap::grid(-2, -2), TopologyError);
+    EXPECT_THROW(CouplingMap::allToAll(0), TopologyError);
+    EXPECT_THROW(CouplingMap::heavyHex(0, 9), TopologyError);
+    EXPECT_THROW(CouplingMap::heavyHex(5, -1), TopologyError);
+    // Minimal valid sizes still build.
+    EXPECT_EQ(CouplingMap::line(1).numQubits(), 1);
+    EXPECT_EQ(CouplingMap::ring(2).numQubits(), 2);
+    EXPECT_EQ(CouplingMap::grid(1, 1).numQubits(), 1);
+}
+
+TEST(Coupling, CustomConstructorRejectsBadEdges)
+{
+    using E = std::vector<std::pair<int, int>>;
+    EXPECT_THROW(CouplingMap(-1, E{}), TopologyError);
+    EXPECT_THROW(CouplingMap(3, E{{0, 3}}), TopologyError);  // out of range
+    EXPECT_THROW(CouplingMap(3, E{{-1, 1}}), TopologyError); // out of range
+    EXPECT_THROW(CouplingMap(3, E{{1, 1}}), TopologyError);  // self-loop
+    // Duplicates are rejected even when written in opposite orders.
+    EXPECT_THROW(CouplingMap(3, E{{0, 1}, {1, 0}}), TopologyError);
+    EXPECT_THROW(CouplingMap(3, E{{0, 1}, {1, 2}, {0, 1}}), TopologyError);
+    // A clean edge list still builds.
+    EXPECT_EQ(CouplingMap(3, E{{0, 1}, {1, 2}}).numQubits(), 3);
+}
+
+TEST(Coupling, DisconnectedComponentsAreTracked)
+{
+    // Two components: {0,1} and {2,3,4}.
+    CouplingMap cm(5, {{0, 1}, {2, 3}, {3, 4}}, "split");
+    EXPECT_FALSE(cm.isConnected());
+    EXPECT_EQ(cm.numComponents(), 2);
+    EXPECT_TRUE(cm.sameComponent(0, 1));
+    EXPECT_TRUE(cm.sameComponent(2, 4));
+    EXPECT_FALSE(cm.sameComponent(1, 2));
+    EXPECT_EQ(cm.distance(0, 2), -1);
+    EXPECT_EQ(cm.distance(1, 4), -1);
+    EXPECT_EQ(cm.distance(2, 4), 2);
+    // An isolated qubit is its own component.
+    CouplingMap iso(3, {{0, 1}}, "isolated");
+    EXPECT_EQ(iso.numComponents(), 2);
+    EXPECT_EQ(iso.componentOf(2), 1);
+}
+
+TEST(Coupling, ShortestPathThrowsAcrossComponents)
+{
+    // Regression: this used to spin forever walking -1 distances.
+    CouplingMap cm(4, {{0, 1}, {2, 3}}, "split");
+    EXPECT_THROW(cm.shortestPath(0, 2), TopologyError);
+    EXPECT_THROW(cm.shortestPath(3, 1), TopologyError);
+    EXPECT_THROW(cm.shortestPath(0, 7), TopologyError); // out of range
+    // Within a component the path is still produced.
+    auto path = cm.shortestPath(2, 3);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], 2);
+    EXPECT_EQ(path[1], 3);
+    // Trivial a == b path.
+    EXPECT_EQ(cm.shortestPath(1, 1), std::vector<int>{1});
+}
+
+TEST(Coupling, LargeHeavyHexRegistry)
+{
+    // IBM Osprey/Condor-scale instances; both over the dense threshold,
+    // so they build in sparse mode with no O(n^2) tables.
+    CouplingMap osprey = CouplingMap::heavyHex433();
+    EXPECT_EQ(osprey.numQubits(), 433);
+    EXPECT_TRUE(osprey.isConnected());
+    EXPECT_LE(osprey.maxDegree(), 3);
+    EXPECT_TRUE(osprey.sparse());
+
+    CouplingMap condor = CouplingMap::heavyHex1121();
+    EXPECT_EQ(condor.numQubits(), 1121);
+    EXPECT_TRUE(condor.isConnected());
+    EXPECT_LE(condor.maxDegree(), 3);
+    EXPECT_TRUE(condor.sparse());
+
+    // Small maps stay dense; the threshold is the only mode switch.
+    EXPECT_FALSE(CouplingMap::heavyHex57().sparse());
+    EXPECT_TRUE(CouplingMap::grid(33, 33).sparse());
+}
+
+TEST(Coupling, SparseMemoryFootprintIsSubQuadratic)
+{
+    CouplingMap condor = CouplingMap::heavyHex1121();
+    const size_t n = size_t(condor.numQubits());
+    const size_t dense_equiv = n * n * (sizeof(int) + sizeof(uint8_t));
+    // CSR + components + landmarks: orders of magnitude below the flat
+    // tables (the per-thread row cache is bounded separately).
+    EXPECT_LT(condor.derivedTableBytes(), dense_equiv / 50);
+}
+
 TEST(Layout, SwapUpdatesBothMaps)
 {
     Layout lay(4);
