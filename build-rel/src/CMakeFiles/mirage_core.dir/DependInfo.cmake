@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_circuits/arithmetic.cc" "src/CMakeFiles/mirage_core.dir/bench_circuits/arithmetic.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/bench_circuits/arithmetic.cc.o.d"
+  "/root/repo/src/bench_circuits/generators.cc" "src/CMakeFiles/mirage_core.dir/bench_circuits/generators.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/bench_circuits/generators.cc.o.d"
+  "/root/repo/src/bench_circuits/hidden_subgroup.cc" "src/CMakeFiles/mirage_core.dir/bench_circuits/hidden_subgroup.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/bench_circuits/hidden_subgroup.cc.o.d"
+  "/root/repo/src/bench_circuits/mirror.cc" "src/CMakeFiles/mirage_core.dir/bench_circuits/mirror.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/bench_circuits/mirror.cc.o.d"
+  "/root/repo/src/bench_circuits/qml.cc" "src/CMakeFiles/mirage_core.dir/bench_circuits/qml.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/bench_circuits/qml.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "src/CMakeFiles/mirage_core.dir/circuit/circuit.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/circuit.cc.o.d"
+  "/root/repo/src/circuit/consolidate.cc" "src/CMakeFiles/mirage_core.dir/circuit/consolidate.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/consolidate.cc.o.d"
+  "/root/repo/src/circuit/dag.cc" "src/CMakeFiles/mirage_core.dir/circuit/dag.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/dag.cc.o.d"
+  "/root/repo/src/circuit/gate.cc" "src/CMakeFiles/mirage_core.dir/circuit/gate.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/gate.cc.o.d"
+  "/root/repo/src/circuit/qasm.cc" "src/CMakeFiles/mirage_core.dir/circuit/qasm.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/qasm.cc.o.d"
+  "/root/repo/src/circuit/sim.cc" "src/CMakeFiles/mirage_core.dir/circuit/sim.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/sim.cc.o.d"
+  "/root/repo/src/circuit/sim_sparse.cc" "src/CMakeFiles/mirage_core.dir/circuit/sim_sparse.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/circuit/sim_sparse.cc.o.d"
+  "/root/repo/src/cli/args.cc" "src/CMakeFiles/mirage_core.dir/cli/args.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/cli/args.cc.o.d"
+  "/root/repo/src/cli/cli.cc" "src/CMakeFiles/mirage_core.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/cli/cli.cc.o.d"
+  "/root/repo/src/cli/experiments.cc" "src/CMakeFiles/mirage_core.dir/cli/experiments.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/cli/experiments.cc.o.d"
+  "/root/repo/src/common/exec.cc" "src/CMakeFiles/mirage_core.dir/common/exec.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/common/exec.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/mirage_core.dir/common/json.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/common/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mirage_core.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rational.cc" "src/CMakeFiles/mirage_core.dir/common/rational.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/common/rational.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mirage_core.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serial.cc" "src/CMakeFiles/mirage_core.dir/common/serial.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/common/serial.cc.o.d"
+  "/root/repo/src/decomp/ansatz.cc" "src/CMakeFiles/mirage_core.dir/decomp/ansatz.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/decomp/ansatz.cc.o.d"
+  "/root/repo/src/decomp/equivalence.cc" "src/CMakeFiles/mirage_core.dir/decomp/equivalence.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/decomp/equivalence.cc.o.d"
+  "/root/repo/src/decomp/numerical.cc" "src/CMakeFiles/mirage_core.dir/decomp/numerical.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/decomp/numerical.cc.o.d"
+  "/root/repo/src/decomp/optimize.cc" "src/CMakeFiles/mirage_core.dir/decomp/optimize.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/decomp/optimize.cc.o.d"
+  "/root/repo/src/geometry/polytope.cc" "src/CMakeFiles/mirage_core.dir/geometry/polytope.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/geometry/polytope.cc.o.d"
+  "/root/repo/src/geometry/quadrature.cc" "src/CMakeFiles/mirage_core.dir/geometry/quadrature.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/geometry/quadrature.cc.o.d"
+  "/root/repo/src/layout/layout.cc" "src/CMakeFiles/mirage_core.dir/layout/layout.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/layout/layout.cc.o.d"
+  "/root/repo/src/layout/vf2.cc" "src/CMakeFiles/mirage_core.dir/layout/vf2.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/layout/vf2.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/mirage_core.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/expm.cc" "src/CMakeFiles/mirage_core.dir/linalg/expm.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/linalg/expm.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/mirage_core.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/random_unitary.cc" "src/CMakeFiles/mirage_core.dir/linalg/random_unitary.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/linalg/random_unitary.cc.o.d"
+  "/root/repo/src/mirage/depth_metric.cc" "src/CMakeFiles/mirage_core.dir/mirage/depth_metric.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/mirage/depth_metric.cc.o.d"
+  "/root/repo/src/mirage/pipeline.cc" "src/CMakeFiles/mirage_core.dir/mirage/pipeline.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/mirage/pipeline.cc.o.d"
+  "/root/repo/src/monodromy/cost_model.cc" "src/CMakeFiles/mirage_core.dir/monodromy/cost_model.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/monodromy/cost_model.cc.o.d"
+  "/root/repo/src/monodromy/coverage.cc" "src/CMakeFiles/mirage_core.dir/monodromy/coverage.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/monodromy/coverage.cc.o.d"
+  "/root/repo/src/monodromy/haar_density.cc" "src/CMakeFiles/mirage_core.dir/monodromy/haar_density.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/monodromy/haar_density.cc.o.d"
+  "/root/repo/src/monodromy/scores.cc" "src/CMakeFiles/mirage_core.dir/monodromy/scores.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/monodromy/scores.cc.o.d"
+  "/root/repo/src/router/sabre.cc" "src/CMakeFiles/mirage_core.dir/router/sabre.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/router/sabre.cc.o.d"
+  "/root/repo/src/topology/coupling.cc" "src/CMakeFiles/mirage_core.dir/topology/coupling.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/topology/coupling.cc.o.d"
+  "/root/repo/src/weyl/can.cc" "src/CMakeFiles/mirage_core.dir/weyl/can.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/weyl/can.cc.o.d"
+  "/root/repo/src/weyl/catalog.cc" "src/CMakeFiles/mirage_core.dir/weyl/catalog.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/weyl/catalog.cc.o.d"
+  "/root/repo/src/weyl/coordinates.cc" "src/CMakeFiles/mirage_core.dir/weyl/coordinates.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/weyl/coordinates.cc.o.d"
+  "/root/repo/src/weyl/kak.cc" "src/CMakeFiles/mirage_core.dir/weyl/kak.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/weyl/kak.cc.o.d"
+  "/root/repo/src/weyl/magic.cc" "src/CMakeFiles/mirage_core.dir/weyl/magic.cc.o" "gcc" "src/CMakeFiles/mirage_core.dir/weyl/magic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage.dir/mirage_main.cc.o"
+  "CMakeFiles/mirage.dir/mirage_main.cc.o.d"
+  "mirage"
+  "mirage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mirage.
+# This may be replaced when dependencies are built.
