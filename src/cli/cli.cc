@@ -9,7 +9,11 @@
 
 #include "cli/cli.hh"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -23,6 +27,9 @@
 #include "common/logging.hh"
 #include "decomp/equivalence.hh"
 #include "mirage/pipeline.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/traffic.hh"
 #include "topology/coupling.hh"
 
 namespace mirage::cli {
@@ -39,83 +46,50 @@ class CliError : public std::runtime_error
     }
 };
 
-const char *const kTopologyForms =
-    "grid<R>x<C>, line<N>, ring<N>, heavyhex57, heavyhex433, "
-    "heavyhex1121, alltoall<N>, or auto";
-
-/** Parse "grid3x3" / "line4" / ... ; `min_qubits` sizes "auto". */
+/** Parse "grid3x3" / "line4" / ... ; `min_qubits` sizes "auto".
+ * (Thin wrapper over the shared topology-module parser that maps its
+ * invalid_argument to a usage error, exit code 2.) */
 topology::CouplingMap
 parseTopology(const std::string &spec, int min_qubits)
 {
-    auto intSuffix = [&spec](size_t prefix_len, int *value) {
-        const std::string tail = spec.substr(prefix_len);
-        if (tail.empty() ||
-            tail.find_first_not_of("0123456789") != std::string::npos)
-            return false;
-        *value = std::atoi(tail.c_str());
-        return *value > 0;
-    };
-
-    if (spec == "auto") {
-        int side = 1;
-        while (side * side < min_qubits)
-            ++side;
-        return topology::CouplingMap::grid(side, side);
+    try {
+        return topology::CouplingMap::parseSpec(spec, min_qubits);
+    } catch (const std::invalid_argument &e) {
+        throw UsageError(e.what());
     }
-    if (spec == "heavyhex57")
-        return topology::CouplingMap::heavyHex57();
-    if (spec == "heavyhex433")
-        return topology::CouplingMap::heavyHex433();
-    if (spec == "heavyhex1121")
-        return topology::CouplingMap::heavyHex1121();
-    if (spec.rfind("grid", 0) == 0) {
-        size_t x = spec.find('x', 4);
-        if (x != std::string::npos) {
-            const std::string rows = spec.substr(4, x - 4);
-            const std::string cols = spec.substr(x + 1);
-            if (!rows.empty() && !cols.empty() &&
-                rows.find_first_not_of("0123456789") == std::string::npos &&
-                cols.find_first_not_of("0123456789") == std::string::npos) {
-                int r = std::atoi(rows.c_str());
-                int c = std::atoi(cols.c_str());
-                if (r > 0 && c > 0)
-                    return topology::CouplingMap::grid(r, c);
-            }
-        }
-    }
-    int n = 0;
-    if (spec.rfind("line", 0) == 0 && intSuffix(4, &n))
-        return topology::CouplingMap::line(n);
-    if (spec.rfind("ring", 0) == 0 && intSuffix(4, &n))
-        return topology::CouplingMap::ring(n);
-    if (spec.rfind("alltoall", 0) == 0 && intSuffix(8, &n))
-        return topology::CouplingMap::allToAll(n);
-    throw UsageError("unknown topology '" + spec + "' (expected " +
-                     kTopologyForms + ")");
 }
 
 mirage_pass::Flow
 parseFlow(const std::string &name)
 {
-    if (name == "sabre")
-        return mirage_pass::Flow::SabreBaseline;
-    if (name == "mirage-swaps")
-        return mirage_pass::Flow::MirageSwaps;
-    if (name == "mirage" || name == "mirage-depth")
-        return mirage_pass::Flow::MirageDepth;
-    throw UsageError("unknown flow '" + name +
-                     "' (expected sabre, mirage-swaps, or mirage)");
+    try {
+        return serve::parseFlow(name);
+    } catch (const serve::RequestError &e) {
+        throw UsageError(e.what());
+    }
 }
 
-const char *
-flowName(mirage_pass::Flow flow)
+/**
+ * Validate a --cache DIR value up front: create it if absent, and
+ * reject a path that cannot be a writable directory with a clear
+ * usage error (exit 2) instead of silently fitting cold and failing
+ * to persist at exit. Returns the (possibly empty) directory.
+ */
+std::string
+validateCacheDir(const std::string &dir)
 {
-    switch (flow) {
-      case mirage_pass::Flow::SabreBaseline: return "sabre";
-      case mirage_pass::Flow::MirageSwaps: return "mirage-swaps";
-      case mirage_pass::Flow::MirageDepth: return "mirage";
-    }
-    return "?";
+    if (dir.empty())
+        return dir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!std::filesystem::is_directory(dir, ec))
+        throw UsageError("--cache '" + dir +
+                         "' is not a directory and cannot be created" +
+                         (ec ? " (" + ec.message() + ")" : ""));
+    if (::access(dir.c_str(), W_OK) != 0)
+        throw UsageError("--cache directory '" + dir +
+                         "' is not writable");
+    return dir;
 }
 
 std::string
@@ -149,19 +123,6 @@ writeOutput(const std::string &path, const std::string &content,
 }
 
 // --- transpile --------------------------------------------------------------
-
-json::Value
-metricsJson(const mirage_pass::CircuitMetrics &m)
-{
-    json::Value v = json::Value::object();
-    v.set("depth", m.depth);
-    v.set("totalCost", m.totalCost);
-    v.set("depthPulses", m.depthPulses);
-    v.set("totalPulses", m.totalPulses);
-    v.set("swapGates", m.swapGates);
-    v.set("twoQubitGates", m.twoQubitGates);
-    return v;
-}
 
 int
 cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
@@ -239,10 +200,14 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
     opts.lowerToBasis = parser.flag("--lower");
     if (opts.layoutTrials < 1 || opts.swapTrials < 1)
         throw UsageError("--trials and --swap-trials must be >= 1");
+    if (opts.forwardBackwardPasses < 0)
+        throw UsageError("--fwd-bwd must be >= 0");
     if (opts.threads < 0)
         throw UsageError("--threads must be >= 0 (0 = all cores)");
     if (opts.rootDegree < 2)
         throw UsageError("--root must be >= 2");
+    if (opts.fixedAggression < -1 || opts.fixedAggression > 3)
+        throw UsageError("--aggression must be in [-1, 3] (-1 = mixed)");
 
     const topology::CouplingMap topo =
         parseTopology(parser.option("--topology"), input.numQubits());
@@ -255,7 +220,7 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
     // Constructing the library preseeds standard-gate fits, so build
     // it only when the lowering stage will actually run.
     std::optional<decomp::EquivalenceLibrary> library;
-    const std::string cacheDir = parser.option("--cache");
+    const std::string cacheDir = validateCacheDir(parser.option("--cache"));
     std::string cacheFile;
     if (opts.lowerToBasis) {
         library.emplace(opts.rootDegree);
@@ -285,71 +250,11 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
         return kExitSuccess;
     }
 
-    json::Value doc = json::Value::object();
-    doc.set("schemaVersion", kArtifactSchemaVersion);
-    doc.set("kind", "mirage-transpile");
-    {
-        json::Value in = json::Value::object();
-        in.set("file", path == "-" ? "<stdin>" : path);
-        in.set("qubits", input.numQubits());
-        in.set("gates", int(input.size()));
-        in.set("twoQubitGates", input.twoQubitGateCount());
-        doc.set("input", std::move(in));
-    }
-    {
-        json::Value t = json::Value::object();
-        t.set("name", topo.name());
-        t.set("qubits", topo.numQubits());
-        t.set("edges", int(topo.edges().size()));
-        doc.set("topology", std::move(t));
-    }
-    {
-        json::Value o = json::Value::object();
-        o.set("flow", flowName(opts.flow));
-        o.set("rootDegree", opts.rootDegree);
-        o.set("layoutTrials", opts.layoutTrials);
-        o.set("swapTrials", opts.swapTrials);
-        o.set("forwardBackwardPasses", opts.forwardBackwardPasses);
-        o.set("threads", opts.threads);
-        o.set("seed", opts.seed);
-        o.set("fixedAggression", opts.fixedAggression);
-        o.set("tryVf2", opts.tryVf2);
-        o.set("lowerToBasis", opts.lowerToBasis);
-        doc.set("options", std::move(o));
-    }
-    {
-        json::Value r = json::Value::object();
-        r.set("metrics", metricsJson(res.metrics));
-        r.set("swapsAdded", res.swapsAdded);
-        r.set("mirrorsAccepted", res.mirrorsAccepted);
-        r.set("mirrorCandidates", res.mirrorCandidates);
-        r.set("mirrorAcceptRate", res.mirrorAcceptRate());
-        r.set("usedVf2", res.usedVf2);
-        r.set("routedGates", int(res.routed.size()));
-        // Hot-path work counters: deterministic (thread-invariant), so
-        // the report stays byte-identical across reruns and --threads
-        // values. Wall time is deliberately NOT emitted here.
-        json::Value c = json::Value::object();
-        c.set("stallSteps", res.routingCounters.stallSteps);
-        c.set("swapCandidates", res.routingCounters.swapCandidates);
-        c.set("heuristicEvals", res.routingCounters.heuristicEvals);
-        c.set("mirrorOutlooks", res.routingCounters.mirrorOutlooks);
-        c.set("extSetBuilds", res.routingCounters.extSetBuilds);
-        c.set("extSetReuses", res.routingCounters.extSetReuses);
-        r.set("routingCounters", std::move(c));
-        doc.set("result", std::move(r));
-    }
-    if (res.loweredToBasis) {
-        json::Value l = json::Value::object();
-        l.set("metrics", metricsJson(res.loweredMetrics));
-        l.set("gates", int(res.lowered.size()));
-        l.set("blocksTranslated", res.translateStats.blocksTranslated);
-        l.set("cacheHits", res.translateStats.cacheHits);
-        l.set("newFits", res.translateStats.newFits);
-        l.set("worstInfidelity", res.translateStats.worstInfidelity);
-        l.set("pulses", res.translateStats.totalPulses);
-        doc.set("lowered", std::move(l));
-    }
+    // The report document is built by the serve module's shared
+    // builder, so a `mirage serve` response is bit-identical to this
+    // one-shot path by construction.
+    json::Value doc = serve::transpileReportJson(
+        path == "-" ? "<stdin>" : path, input, topo, opts, res);
     writeOutput(parser.option("--output"), doc.dump(2), out);
     return kExitSuccess;
 }
@@ -436,7 +341,7 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
     knobs.threads = parser.intOption("--threads");
     if (knobs.threads < 0)
         throw UsageError("--threads must be >= 0 (0 = all cores)");
-    knobs.cacheDir = parser.option("--cache");
+    knobs.cacheDir = validateCacheDir(parser.option("--cache"));
 
     err << "mirage: running experiment '" << name << "' ("
         << experiment->artifact << ")...\n";
@@ -621,6 +526,231 @@ cmdReport(const std::vector<std::string> &args, std::ostream &out,
     return kExitSuccess;
 }
 
+// --- serve ------------------------------------------------------------------
+
+/** The running socket server, for SIGINT/SIGTERM-driven shutdown.
+ * SocketServer::stop() only stores an atomic flag, so it is
+ * async-signal-safe. */
+std::atomic<serve::SocketServer *> g_signalServer{nullptr};
+
+void
+serveSignalHandler(int)
+{
+    if (serve::SocketServer *server = g_signalServer.load())
+        server->stop();
+}
+
+int
+cmdServe(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    ArgumentParser parser("serve", "--socket <path> | --stdio");
+    parser.addOption("--socket", "PATH", "",
+                     "bind a Unix domain socket here and serve "
+                     "concurrent newline-delimited JSON requests");
+    parser.addFlag("--stdio",
+                   "serve requests from stdin to stdout (sequential; "
+                   "for tests and piping)");
+    parser.addOption("--threads", "N", "0",
+                     "warm trial-grid worker threads shared by every "
+                     "request (0 = all cores)");
+    parser.addOption("--cache-entries", "N", "256",
+                     "result memo capacity, in full transpile reports");
+    parser.addOption("--max-batch", "N", "32",
+                     "max compatible concurrent requests folded into "
+                     "one transpileMany call");
+    parser.addOption("--cache", "DIR", "",
+                     "equivalence-library persistence directory "
+                     "(loaded on first use, saved on shutdown)");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (!parser.positionals().empty())
+        throw UsageError("serve takes no positional operands");
+
+    const std::string socketPath = parser.option("--socket");
+    const bool stdio = parser.flag("--stdio");
+    if (socketPath.empty() == !stdio)
+        throw UsageError("serve needs exactly one transport: "
+                         "--socket <path> or --stdio");
+
+    serve::EngineOptions eopts;
+    eopts.threads = parser.intOption("--threads");
+    if (eopts.threads < 0)
+        throw UsageError("--threads must be >= 0 (0 = all cores)");
+    const int entries = parser.intOption("--cache-entries");
+    if (entries < 1)
+        throw UsageError("--cache-entries must be >= 1");
+    eopts.cacheEntries = size_t(entries);
+    eopts.maxBatch = parser.intOption("--max-batch");
+    if (eopts.maxBatch < 1)
+        throw UsageError("--max-batch must be >= 1");
+    eopts.cacheDir = validateCacheDir(parser.option("--cache"));
+
+    try {
+        serve::Engine engine(eopts);
+        if (stdio) {
+            const uint64_t n = serve::serveStdio(engine, std::cin, out);
+            err << "mirage: serve: handled " << n << " request(s)\n";
+            return kExitSuccess;
+        }
+        serve::SocketServer server(engine, socketPath);
+        server.start();
+        err << "mirage: serving on " << server.path() << " ("
+            << engine.poolThreads() << " worker thread(s))\n";
+        g_signalServer.store(&server);
+        std::signal(SIGINT, serveSignalHandler);
+        std::signal(SIGTERM, serveSignalHandler);
+        server.run();
+        g_signalServer.store(nullptr);
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+        const serve::EngineCounters c = engine.counters();
+        err << "mirage: serve: drained after " << c.requests
+            << " request(s) (" << c.cacheHits << " cache hit(s), "
+            << c.transpiles << " transpile(s))\n";
+        return kExitSuccess;
+    } catch (const serve::ServeError &e) {
+        throw CliError(e.what());
+    }
+}
+
+// --- serve-bench ------------------------------------------------------------
+
+/**
+ * `mirage serve-bench`: the serve throughput/latency trajectory.
+ * Runs the two-phase synthetic workload (see serve/traffic.hh) against
+ * an in-process engine (default) or a live server (--socket), writes
+ * the BENCH_serve.json artifact, and with --check gates CI on the
+ * deterministic parameters/counters exactly (timings stay
+ * informational).
+ */
+int
+cmdServeBench(const std::vector<std::string> &args, std::ostream &out,
+              std::ostream &err)
+{
+    ArgumentParser parser("serve-bench", "[--check <baseline.json>]");
+    parser.addOption("--clients", "N", "8",
+                     "concurrent drive-phase client threads");
+    parser.addOption("--requests", "N", "6",
+                     "drive requests per client");
+    parser.addOption("--distinct", "N", "4",
+                     "distinct synthetic circuits in the request mix");
+    parser.addOption("--width", "N", "5",
+                     "qubits per synthetic circuit");
+    parser.addOption("--gates", "N", "18",
+                     "entangling gates per synthetic circuit");
+    parser.addOption("--topology", "SPEC", "grid3x3",
+                     "device coupling map for every request");
+    parser.addOption("--trials", "N", "4", "layout trials per request");
+    parser.addOption("--swap-trials", "N", "2",
+                     "routing repeats per layout");
+    parser.addOption("--fwd-bwd", "N", "2", "layout refinement rounds");
+    parser.addOption("--seed", "N", "20240229",
+                     "workload + pipeline seed");
+    parser.addOption("--aggression", "N", "-1",
+                     "fixed mirror aggression 0-3 (-1 = mixed)");
+    parser.addFlag("--lower",
+                   "requests also lower to RootISWAP pulses");
+    parser.addOption("--threads", "N", "0",
+                     "in-process engine pool threads (0 = all cores)");
+    parser.addOption("--socket", "PATH", "",
+                     "drive a live `mirage serve` at this socket "
+                     "instead of an in-process engine");
+    parser.addOption("--out", "FILE", "BENCH_serve.json",
+                     "artifact path ('-' for stdout)");
+    parser.addOption("--check", "FILE", "",
+                     "baseline artifact; exit 1 if the deterministic "
+                     "parameters or counters drifted");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (!parser.positionals().empty())
+        throw UsageError("serve-bench takes no positional operands");
+
+    serve::TrafficOptions topts;
+    auto positive = [&parser](const char *flag, int *slot) {
+        int v = parser.intOption(flag);
+        if (v < 1)
+            throw UsageError(std::string("option '") + flag +
+                             "' must be >= 1");
+        *slot = v;
+    };
+    positive("--clients", &topts.clients);
+    positive("--requests", &topts.requestsPerClient);
+    positive("--distinct", &topts.distinct);
+    positive("--trials", &topts.trials);
+    positive("--swap-trials", &topts.swapTrials);
+    topts.width = parser.intOption("--width");
+    if (topts.width < 2)
+        throw UsageError("--width must be >= 2 (entangling gates need "
+                         "two qubits)");
+    topts.twoQubitGates = parser.intOption("--gates");
+    if (topts.twoQubitGates < 1)
+        throw UsageError("--gates must be >= 1");
+    topts.fwdBwd = parser.intOption("--fwd-bwd");
+    if (topts.fwdBwd < 0)
+        throw UsageError("--fwd-bwd must be >= 0");
+    topts.aggression = parser.intOption("--aggression");
+    if (topts.aggression < -1 || topts.aggression > 3)
+        throw UsageError("--aggression must be in [-1, 3] (-1 = mixed)");
+    topts.engineThreads = parser.intOption("--threads");
+    if (topts.engineThreads < 0)
+        throw UsageError("--threads must be >= 0 (0 = all cores)");
+    topts.seed = parser.u64Option("--seed");
+    topts.topology = parser.option("--topology");
+    topts.lower = parser.flag("--lower");
+    topts.socketPath = parser.option("--socket");
+
+    // Read the baseline BEFORE writing the fresh artifact: with the
+    // default --out the two paths coincide (the committed repo-root
+    // BENCH_serve.json), and writing first would gate the new artifact
+    // against itself -- always passing.
+    const std::string baselinePath = parser.option("--check");
+    json::Value baseline;
+    if (!baselinePath.empty()) {
+        try {
+            baseline = json::parse(readInput(baselinePath));
+        } catch (const json::ParseError &e) {
+            err << "mirage: " << baselinePath << ":" << e.line() << ":"
+                << e.column() << ": " << e.what() << "\n";
+            return kExitFailure;
+        }
+    }
+
+    json::Value artifact;
+    try {
+        artifact = serve::runTraffic(topts, err);
+    } catch (const serve::ServeError &e) {
+        throw CliError(e.what());
+    }
+
+    const std::string path = parser.option("--out");
+    writeOutput(path, artifact.dump(2), out);
+    if (path != "-" && !path.empty())
+        out << "wrote " << path << "\n";
+
+    if (!baselinePath.empty()) {
+        std::string report;
+        const bool ok =
+            serve::checkServeArtifact(artifact, baseline, &report);
+        if (!report.empty())
+            out << report;
+        if (!ok) {
+            err << "mirage: serve-bench counters drifted versus '"
+                << baselinePath << "'\n";
+            return kExitFailure;
+        }
+        out << "serve-bench check OK: deterministic counters match "
+            << baselinePath << "\n";
+    }
+    return kExitSuccess;
+}
+
 // --- dispatch ---------------------------------------------------------------
 
 const char *const kVersion = "0.1.0";
@@ -636,6 +766,10 @@ usage()
            "  sweep       run a registered paper experiment, emit a "
            "JSON/CSV artifact\n"
            "  bench       routing perf trajectory (BENCH_fig13.json); "
+           "--check gates CI\n"
+           "  serve       persistent transpilation service (Unix socket "
+           "or stdio)\n"
+           "  serve-bench serve throughput/latency (BENCH_serve.json); "
            "--check gates CI\n"
            "  report      render sweep artifacts as markdown tables\n"
            "  version     print the version\n"
@@ -673,6 +807,10 @@ run(const std::vector<std::string> &args, std::ostream &out,
             return cmdSweep(rest, out, err);
         if (command == "bench")
             return cmdBench(rest, out, err);
+        if (command == "serve")
+            return cmdServe(rest, out, err);
+        if (command == "serve-bench")
+            return cmdServeBench(rest, out, err);
         if (command == "report")
             return cmdReport(rest, out, err);
         err << "mirage: unknown command '" << command << "'\n\n"

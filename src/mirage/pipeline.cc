@@ -187,7 +187,7 @@ transpile(const Circuit &input, const topology::CouplingMap &coupling,
     decomp::EquivalenceLibrary *lib = opts.equivalenceLibrary;
     if (opts.lowerToBasis && !lib)
         lib = &local_lib.emplace(opts.rootDegree);
-    return transpileImpl(input, coupling, opts, nullptr, lib);
+    return transpileImpl(input, coupling, opts, opts.pool, lib);
 }
 
 std::vector<TranspileResult>
@@ -200,7 +200,7 @@ transpileMany(std::span<const Circuit> circuits,
     // identical to a standalone transpile() because all randomness is
     // keyed by (opts.seed, trial), never by batch position.
     std::optional<exec::ThreadPool> pool;
-    if (opts.threads != 1)
+    if (!opts.pool && opts.threads != 1)
         pool.emplace(opts.threads);
 
     // Likewise one equivalence library serves every circuit: cached
@@ -213,9 +213,10 @@ transpileMany(std::span<const Circuit> circuits,
 
     std::vector<TranspileResult> results;
     results.reserve(circuits.size());
+    exec::ThreadPool *shared = opts.pool ? opts.pool
+                                         : (pool ? &*pool : nullptr);
     for (const Circuit &c : circuits)
-        results.push_back(transpileImpl(c, coupling, opts,
-                                        pool ? &*pool : nullptr, lib));
+        results.push_back(transpileImpl(c, coupling, opts, shared, lib));
     return results;
 }
 

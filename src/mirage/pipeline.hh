@@ -68,6 +68,14 @@ struct TranspileOptions
      * one shared by the whole batch.
      */
     decomp::EquivalenceLibrary *equivalenceLibrary = nullptr;
+    /**
+     * Optional externally owned trial-grid thread pool (overrides
+     * `threads`). Long-lived callers -- the serve engine above all --
+     * keep one warm pool across many transpile()/transpileMany() calls
+     * instead of paying spin-up per request. Like `threads`, the pool
+     * never changes output, only throughput.
+     */
+    exec::ThreadPool *pool = nullptr;
 };
 
 /** Pipeline result. */

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Serve protocol implementation: request parsing/validation, the
+ * circuit/options fingerprints keying the result memo cache, and the
+ * transpile report builder shared with the one-shot CLI path.
+ */
+
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+namespace mirage::serve {
+
+namespace {
+
+/** FNV-1a over a byte range. */
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+uint64_t
+fnvInt(uint64_t h, int64_t v)
+{
+    return fnv1a(h, &v, sizeof v);
+}
+
+/** Hash the exact bit pattern of a double (no -0.0/0.0 folding: the
+ * memo must never serve a result for a circuit it was not computed
+ * from, so "bit-identical in, bit-identical out" is the contract). */
+uint64_t
+fnvDouble(uint64_t h, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return fnv1a(h, &bits, sizeof bits);
+}
+
+uint64_t
+fnvComplex(uint64_t h, const linalg::Complex &c)
+{
+    h = fnvDouble(h, c.real());
+    return fnvDouble(h, c.imag());
+}
+
+} // namespace
+
+mirage_pass::Flow
+parseFlow(const std::string &name)
+{
+    if (name == "sabre")
+        return mirage_pass::Flow::SabreBaseline;
+    if (name == "mirage-swaps")
+        return mirage_pass::Flow::MirageSwaps;
+    if (name == "mirage" || name == "mirage-depth")
+        return mirage_pass::Flow::MirageDepth;
+    throw RequestError("request",
+                       "unknown flow '" + name +
+                           "' (expected sabre, mirage-swaps, or mirage)");
+}
+
+const char *
+flowName(mirage_pass::Flow flow)
+{
+    switch (flow) {
+      case mirage_pass::Flow::SabreBaseline: return "sabre";
+      case mirage_pass::Flow::MirageSwaps: return "mirage-swaps";
+      case mirage_pass::Flow::MirageDepth: return "mirage";
+    }
+    return "?";
+}
+
+TranspileRequest
+parseTranspileRequest(const json::Value &doc)
+{
+    TranspileRequest req;
+    if (!doc.isObject())
+        throw RequestError("request", "request must be a JSON object");
+    if (const json::Value *id = doc.find("id"))
+        req.id = *id;
+
+    auto stringField = [](const json::Value &v, const char *key) {
+        if (!v.isString())
+            throw RequestError("request", std::string("field '") + key +
+                                              "' must be a string");
+        return v.asString();
+    };
+
+    bool sawQasm = false;
+    for (const auto &[key, value] : doc.members()) {
+        if (key == "id" || key == "op")
+            continue;
+        if (key == "qasm") {
+            req.qasm = stringField(value, "qasm");
+            sawQasm = true;
+        } else if (key == "name") {
+            req.name = stringField(value, "name");
+        } else if (key == "options") {
+            if (!value.isObject())
+                throw RequestError("request",
+                                   "field 'options' must be an object");
+        } else {
+            throw RequestError("request", "unknown request field '" + key +
+                                              "'");
+        }
+    }
+    if (!sawQasm)
+        throw RequestError("request",
+                           "transpile request requires a 'qasm' field");
+
+    const json::Value *options = doc.find("options");
+    if (!options)
+        return req;
+
+    auto intField = [](const json::Value &v, const std::string &key) {
+        if (!v.isNumber())
+            throw RequestError("request", "option '" + key +
+                                              "' must be a number");
+        double d = v.asNumber();
+        auto i = int64_t(d);
+        if (double(i) != d)
+            throw RequestError("request", "option '" + key +
+                                              "' must be an integer");
+        return i;
+    };
+    auto boolField = [](const json::Value &v, const std::string &key) {
+        if (!v.isBool())
+            throw RequestError("request", "option '" + key +
+                                              "' must be a boolean");
+        return v.asBool();
+    };
+    auto requirePositive = [](int64_t v, const std::string &key) {
+        if (v < 1)
+            throw RequestError("request", "option '" + key +
+                                              "' must be >= 1");
+        return int(v);
+    };
+
+    mirage_pass::TranspileOptions &o = req.options;
+    for (const auto &[key, value] : options->members()) {
+        if (key == "topology") {
+            if (!value.isString())
+                throw RequestError("request",
+                                   "option 'topology' must be a string");
+            req.topology = value.asString();
+        } else if (key == "format") {
+            if (!value.isString())
+                throw RequestError("request",
+                                   "option 'format' must be a string");
+            req.format = value.asString();
+            if (req.format != "json" && req.format != "qasm")
+                throw RequestError("request", "unknown format '" +
+                                                  req.format +
+                                                  "' (expected json or "
+                                                  "qasm)");
+        } else if (key == "flow") {
+            if (!value.isString())
+                throw RequestError("request",
+                                   "option 'flow' must be a string");
+            o.flow = parseFlow(value.asString());
+        } else if (key == "trials") {
+            o.layoutTrials = requirePositive(intField(value, key), key);
+        } else if (key == "swapTrials") {
+            o.swapTrials = requirePositive(intField(value, key), key);
+        } else if (key == "fwdBwd") {
+            int64_t v = intField(value, key);
+            if (v < 0)
+                throw RequestError("request",
+                                   "option 'fwdBwd' must be >= 0");
+            o.forwardBackwardPasses = int(v);
+        } else if (key == "seed") {
+            int64_t v = intField(value, key);
+            if (v < 0)
+                throw RequestError("request",
+                                   "option 'seed' must be >= 0");
+            o.seed = uint64_t(v);
+        } else if (key == "aggression") {
+            int64_t v = intField(value, key);
+            if (v < -1 || v > 3)
+                throw RequestError("request",
+                                   "option 'aggression' must be between "
+                                   "-1 (mixed) and 3");
+            o.fixedAggression = int(v);
+        } else if (key == "root") {
+            int64_t v = intField(value, key);
+            if (v < 2)
+                throw RequestError("request",
+                                   "option 'root' must be >= 2");
+            o.rootDegree = int(v);
+        } else if (key == "lower") {
+            o.lowerToBasis = boolField(value, key);
+        } else if (key == "vf2") {
+            o.tryVf2 = boolField(value, key);
+        } else {
+            throw RequestError("request",
+                               "unknown option '" + key + "'");
+        }
+    }
+    return req;
+}
+
+uint64_t
+circuitFingerprint(const circuit::Circuit &c)
+{
+    uint64_t h = 0xCBF29CE484222325ULL; // FNV offset basis
+    h = fnvInt(h, c.numQubits());
+    h = fnvInt(h, int64_t(c.size()));
+    for (const circuit::Gate &g : c.gates()) {
+        h = fnvInt(h, int64_t(g.kind));
+        h = fnvInt(h, g.numQubits());
+        for (int q : g.qubits)
+            h = fnvInt(h, q);
+        h = fnvInt(h, int64_t(g.params.size()));
+        for (double p : g.params)
+            h = fnvDouble(h, p);
+        h = fnvInt(h, g.mirrored ? 1 : 0);
+        if (g.mat2) {
+            h = fnvInt(h, 2);
+            for (const auto &e : g.mat2->a)
+                h = fnvComplex(h, e);
+        }
+        if (g.mat4) {
+            h = fnvInt(h, 4);
+            for (const auto &e : g.mat4->a)
+                h = fnvComplex(h, e);
+        }
+    }
+    return h;
+}
+
+std::string
+resultCacheKey(uint64_t circuit_fingerprint,
+               const std::string &topology_name,
+               const mirage_pass::TranspileOptions &o,
+               const std::string &format)
+{
+    std::string key;
+    key.reserve(96);
+    key += std::to_string(circuit_fingerprint);
+    key += "|topo=";
+    key += topology_name;
+    key += "|flow=";
+    key += flowName(o.flow);
+    key += "|root=" + std::to_string(o.rootDegree);
+    key += "|trials=" + std::to_string(o.layoutTrials);
+    key += "|swap=" + std::to_string(o.swapTrials);
+    key += "|fb=" + std::to_string(o.forwardBackwardPasses);
+    key += "|seed=" + std::to_string(o.seed);
+    key += "|agg=" + std::to_string(o.fixedAggression);
+    key += "|vf2=" + std::to_string(o.tryVf2 ? 1 : 0);
+    key += "|lower=" + std::to_string(o.lowerToBasis ? 1 : 0);
+    key += "|fmt=" + format;
+    return key;
+}
+
+namespace {
+
+json::Value
+metricsJson(const mirage_pass::CircuitMetrics &m)
+{
+    json::Value v = json::Value::object();
+    v.set("depth", m.depth);
+    v.set("totalCost", m.totalCost);
+    v.set("depthPulses", m.depthPulses);
+    v.set("totalPulses", m.totalPulses);
+    v.set("swapGates", m.swapGates);
+    v.set("twoQubitGates", m.twoQubitGates);
+    return v;
+}
+
+} // namespace
+
+json::Value
+transpileReportJson(const std::string &file_label,
+                    const circuit::Circuit &input,
+                    const topology::CouplingMap &topo,
+                    const mirage_pass::TranspileOptions &opts,
+                    const mirage_pass::TranspileResult &res)
+{
+    json::Value doc = json::Value::object();
+    doc.set("schemaVersion", kProtocolVersion);
+    doc.set("kind", "mirage-transpile");
+    {
+        json::Value in = json::Value::object();
+        in.set("file", file_label);
+        in.set("qubits", input.numQubits());
+        in.set("gates", int(input.size()));
+        in.set("twoQubitGates", input.twoQubitGateCount());
+        doc.set("input", std::move(in));
+    }
+    {
+        json::Value t = json::Value::object();
+        t.set("name", topo.name());
+        t.set("qubits", topo.numQubits());
+        t.set("edges", int(topo.edges().size()));
+        doc.set("topology", std::move(t));
+    }
+    {
+        json::Value o = json::Value::object();
+        o.set("flow", flowName(opts.flow));
+        o.set("rootDegree", opts.rootDegree);
+        o.set("layoutTrials", opts.layoutTrials);
+        o.set("swapTrials", opts.swapTrials);
+        o.set("forwardBackwardPasses", opts.forwardBackwardPasses);
+        o.set("threads", opts.threads);
+        o.set("seed", opts.seed);
+        o.set("fixedAggression", opts.fixedAggression);
+        o.set("tryVf2", opts.tryVf2);
+        o.set("lowerToBasis", opts.lowerToBasis);
+        doc.set("options", std::move(o));
+    }
+    {
+        json::Value r = json::Value::object();
+        r.set("metrics", metricsJson(res.metrics));
+        r.set("swapsAdded", res.swapsAdded);
+        r.set("mirrorsAccepted", res.mirrorsAccepted);
+        r.set("mirrorCandidates", res.mirrorCandidates);
+        r.set("mirrorAcceptRate", res.mirrorAcceptRate());
+        r.set("usedVf2", res.usedVf2);
+        r.set("routedGates", int(res.routed.size()));
+        // Hot-path work counters: deterministic (thread-invariant), so
+        // the report stays byte-identical across reruns and thread
+        // counts. Wall time is deliberately NOT emitted here.
+        json::Value c = json::Value::object();
+        c.set("stallSteps", res.routingCounters.stallSteps);
+        c.set("swapCandidates", res.routingCounters.swapCandidates);
+        c.set("heuristicEvals", res.routingCounters.heuristicEvals);
+        c.set("mirrorOutlooks", res.routingCounters.mirrorOutlooks);
+        c.set("extSetBuilds", res.routingCounters.extSetBuilds);
+        c.set("extSetReuses", res.routingCounters.extSetReuses);
+        r.set("routingCounters", std::move(c));
+        doc.set("result", std::move(r));
+    }
+    if (res.loweredToBasis) {
+        json::Value l = json::Value::object();
+        l.set("metrics", metricsJson(res.loweredMetrics));
+        l.set("gates", int(res.lowered.size()));
+        l.set("blocksTranslated", res.translateStats.blocksTranslated);
+        l.set("cacheHits", res.translateStats.cacheHits);
+        l.set("newFits", res.translateStats.newFits);
+        l.set("worstInfidelity", res.translateStats.worstInfidelity);
+        l.set("pulses", res.translateStats.totalPulses);
+        doc.set("lowered", std::move(l));
+    }
+    return doc;
+}
+
+json::Value
+okEnvelope(const json::Value &id)
+{
+    json::Value v = json::Value::object();
+    v.set("id", id);
+    v.set("ok", true);
+    return v;
+}
+
+json::Value
+errorResponse(const json::Value &id, const std::string &code,
+              const std::string &message)
+{
+    json::Value v = okEnvelope(id);
+    v.set("ok", false);
+    json::Value e = json::Value::object();
+    e.set("code", code);
+    e.set("message", message);
+    v.set("error", std::move(e));
+    return v;
+}
+
+} // namespace mirage::serve

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Request/response schema of the `mirage serve` transpilation service.
+ *
+ * The wire protocol is deliberately minimal: one JSON object per line
+ * in each direction (newline-delimited, over a Unix socket or stdio).
+ * A request carries an `op` ("transpile", "stats", "ping", "shutdown";
+ * default "transpile"), an optional client-chosen `id` that is echoed
+ * verbatim in the response, and for transpile the OpenQASM 2 `qasm`
+ * text plus an `options` object mirroring the `mirage transpile`
+ * flags. Every response is a single JSON object with `ok` true/false;
+ * failures carry a structured `error` {code, message} instead of
+ * killing the connection or the server.
+ *
+ * This header also hosts the pieces the one-shot CLI path shares with
+ * the server -- flow-name parsing and the transpile report builder --
+ * so a served response is bit-identical to `mirage transpile` output
+ * by construction, not by parallel evolution.
+ */
+
+#ifndef MIRAGE_SERVE_PROTOCOL_HH
+#define MIRAGE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "circuit/circuit.hh"
+#include "common/json.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
+
+namespace mirage::serve {
+
+/** Version stamped into transpile reports and bench artifacts. */
+inline constexpr int kProtocolVersion = 1;
+
+/**
+ * Schema violation in an otherwise well-formed JSON request: unknown
+ * op, missing/ill-typed field, or an option value outside its valid
+ * range. Maps to a structured {code, message} error response.
+ */
+class RequestError : public std::runtime_error
+{
+  public:
+    RequestError(std::string code, const std::string &message)
+        : std::runtime_error(message), code_(std::move(code))
+    {
+    }
+
+    /** Stable machine-readable discriminator ("request", "qasm", ...). */
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
+};
+
+/** One parsed transpile request (transport- and cache-agnostic). */
+struct TranspileRequest
+{
+    /** Echoed verbatim in the response; null when the client sent none. */
+    json::Value id;
+    /** Label used as the report's input.file (default "<request>"). */
+    std::string name = "<request>";
+    /** OpenQASM 2 source of the circuit to transpile. */
+    std::string qasm;
+    /** Device spec (topology::CouplingMap::parseSpec forms). */
+    std::string topology = "auto";
+    /** "json" (full report) or "qasm" (routed/lowered circuit). */
+    std::string format = "json";
+    /**
+     * Pipeline options. threads/pool/equivalenceLibrary are engine-wide
+     * and not client-settable; requests only choose the deterministic
+     * knobs (flow, trials, seed, aggression, root, lower, vf2).
+     */
+    mirage_pass::TranspileOptions options;
+};
+
+/**
+ * Parse the `options`/`qasm`/`name`/`topology`/`format` fields of a
+ * transpile request document. Throws RequestError on unknown keys,
+ * ill-typed values, or out-of-range numerics (same bounds the CLI
+ * enforces: trials/swap-trials >= 1, fwd-bwd >= 0, root >= 2,
+ * aggression in [-1, 3]).
+ */
+TranspileRequest parseTranspileRequest(const json::Value &doc);
+
+/** Flow name <-> enum (shared with the CLI's --flow flag). */
+mirage_pass::Flow parseFlow(const std::string &name); ///< throws RequestError
+const char *flowName(mirage_pass::Flow flow);
+
+/**
+ * 64-bit structural fingerprint of a circuit: FNV-1a over qubit count
+ * and every gate's kind, operands, exact parameter bits, and explicit
+ * matrices. Collisions are as unlikely as a 64-bit hash allows; the
+ * memo cache uses this (not gate-list equality) as its key component.
+ */
+uint64_t circuitFingerprint(const circuit::Circuit &circuit);
+
+/**
+ * Canonical cache-key string for (circuit, topology, options, format).
+ * Uses the RESOLVED topology name (so "auto" keys by the grid it chose)
+ * and excludes `threads`/`pool` -- output is bit-identical across
+ * thread counts by the trial engine's guarantee, so they must not
+ * fragment the cache.
+ */
+std::string resultCacheKey(uint64_t circuit_fingerprint,
+                           const std::string &topology_name,
+                           const mirage_pass::TranspileOptions &options,
+                           const std::string &format);
+
+/**
+ * The `mirage transpile` JSON report (schemaVersion / kind /
+ * input / topology / options / result [/ lowered]). Shared by the
+ * one-shot CLI path and the serve engine so the two are bit-identical.
+ */
+json::Value transpileReportJson(const std::string &file_label,
+                                const circuit::Circuit &input,
+                                const topology::CouplingMap &topology,
+                                const mirage_pass::TranspileOptions &options,
+                                const mirage_pass::TranspileResult &result);
+
+/** {"id": <id>, "ok": true} -- the start of every success response. */
+json::Value okEnvelope(const json::Value &id);
+
+/**
+ * {"id": <id>, "ok": false, "error": {"code": ..., "message": ...}}.
+ * `code` is one of: "parse" (malformed JSON), "request" (schema or
+ * option-range violation), "qasm" (circuit text failed to parse),
+ * "input" (circuit/topology mismatch), "shutdown" (server draining),
+ * "internal" (unexpected exception).
+ */
+json::Value errorResponse(const json::Value &id, const std::string &code,
+                          const std::string &message);
+
+} // namespace mirage::serve
+
+#endif // MIRAGE_SERVE_PROTOCOL_HH

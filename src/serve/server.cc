@@ -1,0 +1,641 @@
+/**
+ * @file
+ * Serve engine + transports. The dispatcher thread is the only caller
+ * of transpileMany(); connection threads park on futures, so the
+ * routing trial grid (which fans out on the shared pool) never runs
+ * concurrently with itself and result ordering is irrelevant --
+ * responses are keyed by request id, and every result is bit-identical
+ * to a one-shot transpile by the trial engine's determinism guarantee.
+ */
+
+#include "serve/server.hh"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+
+#include "circuit/qasm.hh"
+
+namespace mirage::serve {
+
+// --- Engine -----------------------------------------------------------------
+
+Engine::Engine(EngineOptions opts)
+    : opts_(std::move(opts)), pool_(opts_.threads),
+      cache_(opts_.cacheEntries == 0 ? 1 : opts_.cacheEntries)
+{
+    if (opts_.maxBatch < 1)
+        opts_.maxBatch = 1;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+Engine::~Engine()
+{
+    beginShutdown();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    queueReady_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+
+    if (!opts_.cacheDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.cacheDir, ec);
+        std::lock_guard<std::mutex> lock(libMutex_);
+        for (const auto &[root, lib] : libraries_) {
+            const std::string file = opts_.cacheDir + "/eqlib-root" +
+                                     std::to_string(root) + ".cache";
+            lib->saveCacheFile(file);
+        }
+    }
+}
+
+void
+Engine::beginShutdown()
+{
+    shuttingDown_.store(true);
+}
+
+EngineCounters
+Engine::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    return counters_;
+}
+
+decomp::EquivalenceLibrary *
+Engine::libraryFor(int root_degree)
+{
+    std::lock_guard<std::mutex> lock(libMutex_);
+    auto it = libraries_.find(root_degree);
+    if (it != libraries_.end())
+        return it->second.get();
+    auto lib = std::make_unique<decomp::EquivalenceLibrary>(root_degree);
+    if (!opts_.cacheDir.empty()) {
+        const std::string file = opts_.cacheDir + "/eqlib-root" +
+                                 std::to_string(root_degree) + ".cache";
+        lib->loadCacheFile(file);
+    }
+    return libraries_.emplace(root_degree, std::move(lib))
+        .first->second.get();
+}
+
+std::shared_ptr<const topology::CouplingMap>
+Engine::resolveTopology(const std::string &spec, int min_qubits)
+{
+    // Resolve "auto" to the concrete grid it would pick BEFORE keying
+    // the cache: two different-width circuits under "auto" may need
+    // different grids, and must not alias each other's entry.
+    std::string key = spec;
+    if (spec == "auto") {
+        int side = 1;
+        while (side * side < min_qubits)
+            ++side;
+        key = "grid" + std::to_string(side) + "x" + std::to_string(side);
+    }
+    {
+        std::lock_guard<std::mutex> lock(topoMutex_);
+        auto it = topologies_.find(key);
+        if (it != topologies_.end())
+            return it->second;
+    }
+    // Build outside the lock (heavyhex1121 construction does real BFS
+    // work); a racing duplicate build is harmless -- last writer wins
+    // and both maps are identical.
+    std::shared_ptr<const topology::CouplingMap> built;
+    try {
+        built = std::make_shared<const topology::CouplingMap>(
+            topology::CouplingMap::parseSpec(key, min_qubits));
+    } catch (const std::invalid_argument &e) {
+        throw RequestError("request", e.what());
+    }
+    std::lock_guard<std::mutex> lock(topoMutex_);
+    topologies_[key] = built;
+    return built;
+}
+
+std::future<mirage_pass::TranspileResult>
+Engine::enqueueJob(std::unique_ptr<Job> job)
+{
+    std::future<mirage_pass::TranspileResult> future =
+        job->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (stopping_)
+            throw RequestError("shutdown", "server is shutting down");
+        queue_.push_back(std::move(job));
+    }
+    queueReady_.notify_one();
+    return future;
+}
+
+void
+Engine::dispatcherLoop()
+{
+    for (;;) {
+        std::vector<std::unique_ptr<Job>> group;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            // Take the oldest job, then fold in every queued job with
+            // the same (topology, options) group key -- those are
+            // exactly the requests transpileMany can share a batch
+            // with. Requests that piled up while the previous batch
+            // ran coalesce here without any artificial batching delay.
+            group.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            const std::string &gk = group.front()->groupKey;
+            for (auto it = queue_.begin();
+                 it != queue_.end() && int(group.size()) < opts_.maxBatch;) {
+                if ((*it)->groupKey == gk) {
+                    group.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
+        mirage_pass::TranspileOptions opts = group.front()->options;
+        opts.pool = &pool_;
+        try {
+            if (opts.lowerToBasis)
+                opts.equivalenceLibrary = libraryFor(opts.rootDegree);
+            std::vector<circuit::Circuit> circuits;
+            circuits.reserve(group.size());
+            for (const auto &job : group)
+                circuits.push_back(job->circuit);
+            auto results = mirage_pass::transpileMany(
+                circuits, *group.front()->topology, opts);
+            // Count BEFORE fulfilling the promises: once a waiter's
+            // response is visible, a stats snapshot must already
+            // include its transpile (the bench gate relies on this).
+            {
+                std::lock_guard<std::mutex> lock(countersMutex_);
+                counters_.transpiles += group.size();
+                counters_.batches += 1;
+                counters_.batchedRequests += group.size();
+                counters_.maxBatchSize = std::max(counters_.maxBatchSize,
+                                                  uint64_t(group.size()));
+            }
+            for (size_t i = 0; i < group.size(); ++i)
+                group[i]->promise.set_value(std::move(results[i]));
+        } catch (...) {
+            for (auto &job : group)
+                job->promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+json::Value
+Engine::handleTranspile(const json::Value &doc, const json::Value &id)
+{
+    if (shuttingDown_.load())
+        throw RequestError("shutdown", "server is shutting down");
+
+    TranspileRequest req = parseTranspileRequest(doc);
+    circuit::Circuit input;
+    try {
+        input = circuit::fromQasm(req.qasm);
+    } catch (const circuit::QasmError &e) {
+        throw RequestError("qasm", "qasm:" + std::to_string(e.line()) +
+                                       ":" + std::to_string(e.column()) +
+                                       ": " + e.message());
+    }
+    if (input.numQubits() == 0)
+        throw RequestError("input", "circuit declares no qubits");
+
+    auto topo = resolveTopology(req.topology, input.numQubits());
+    if (topo->numQubits() < input.numQubits())
+        throw RequestError("input",
+                           "topology '" + req.topology + "' has " +
+                               std::to_string(topo->numQubits()) +
+                               " qubits but the circuit needs " +
+                               std::to_string(input.numQubits()));
+
+    const uint64_t fp = circuitFingerprint(input);
+    const std::string key =
+        resultCacheKey(fp, topo->name(), req.options, req.format);
+
+    auto respond = [this, &id](const EntryPtr &entry, bool hit,
+                               bool coalesced) {
+        json::Value v = okEnvelope(id);
+        v.set("kind", "transpile");
+        json::Value c = json::Value::object();
+        c.set("hit", hit);
+        c.set("coalesced", coalesced);
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            c.set("hits", counters_.cacheHits);
+            c.set("misses", counters_.cacheMisses);
+        }
+        v.set("cache", std::move(c));
+        if (entry->format == "qasm")
+            v.set("qasm", entry->qasm);
+        else
+            v.set("report", entry->report);
+        return v;
+    };
+
+    std::shared_ptr<Inflight> inflight;
+    bool owner = false;
+    EntryPtr hitEntry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (auto entry = cache_.get(key)) {
+            hitEntry = *entry; // snapshot; the LRU may evict it later
+            std::lock_guard<std::mutex> clock(countersMutex_);
+            ++counters_.cacheHits;
+        }
+        auto it = hitEntry ? pending_.end() : pending_.find(key);
+        if (it != pending_.end()) {
+            inflight = it->second;
+            std::lock_guard<std::mutex> clock(countersMutex_);
+            ++counters_.coalesced;
+        } else if (!hitEntry) {
+            inflight = std::make_shared<Inflight>();
+            inflight->future = inflight->promise.get_future().share();
+            pending_[key] = inflight;
+            owner = true;
+            std::lock_guard<std::mutex> clock(countersMutex_);
+            ++counters_.cacheMisses;
+        }
+    }
+    if (hitEntry)
+        return respond(hitEntry, true, false);
+
+    if (!owner) {
+        // Single-flight: an identical request is already computing;
+        // wait for its entry (or its failure) instead of duplicating
+        // the work.
+        EntryPtr entry = inflight->future.get();
+        return respond(entry, true, true);
+    }
+
+    auto job = std::make_unique<Job>();
+    job->circuit = input;
+    job->topology = topo;
+    job->options = req.options;
+    job->groupKey = resultCacheKey(0, topo->name(), req.options, "");
+
+    mirage_pass::TranspileResult result;
+    try {
+        auto future = enqueueJob(std::move(job));
+        result = future.get();
+    } catch (...) {
+        // Unblock coalesced waiters with the same failure, then drop
+        // the rendezvous so a retry computes fresh.
+        inflight->promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        pending_.erase(key);
+        throw;
+    }
+
+    auto entry = std::make_shared<CachedEntry>();
+    entry->format = req.format;
+    if (req.format == "qasm") {
+        const circuit::Circuit &emitted =
+            result.loweredToBasis ? result.lowered : result.routed;
+        entry->qasm = circuit::toQasm(emitted);
+    } else {
+        entry->report = transpileReportJson(req.name, input, *topo,
+                                            req.options, result);
+    }
+    EntryPtr shared = entry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        cache_.put(key, shared);
+        pending_.erase(key);
+    }
+    inflight->promise.set_value(shared);
+    return respond(shared, false, false);
+}
+
+json::Value
+Engine::statsResponse(const json::Value &id) const
+{
+    json::Value v = okEnvelope(id);
+    v.set("kind", "stats");
+    v.set("protocolVersion", kProtocolVersion);
+    EngineCounters c = counters();
+    json::Value cj = json::Value::object();
+    cj.set("requests", c.requests);
+    cj.set("transpiles", c.transpiles);
+    cj.set("cacheHits", c.cacheHits);
+    cj.set("cacheMisses", c.cacheMisses);
+    cj.set("coalesced", c.coalesced);
+    cj.set("batches", c.batches);
+    cj.set("batchedRequests", c.batchedRequests);
+    cj.set("maxBatchSize", c.maxBatchSize);
+    cj.set("errors", c.errors);
+    v.set("counters", std::move(cj));
+    {
+        json::Value cache = json::Value::object();
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            cache.set("entries", uint64_t(cache_.size()));
+        }
+        cache.set("capacity", uint64_t(opts_.cacheEntries));
+        v.set("cache", std::move(cache));
+    }
+    v.set("poolThreads", pool_.numThreads());
+    v.set("shuttingDown", shuttingDown_.load());
+    return v;
+}
+
+json::Value
+Engine::handleValue(const json::Value &request)
+{
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.requests;
+    }
+    json::Value id;
+    if (request.isObject())
+        if (const json::Value *found = request.find("id"))
+            id = *found;
+
+    auto fail = [this, &id](const std::string &code,
+                            const std::string &message) {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.errors;
+        return errorResponse(id, code, message);
+    };
+
+    try {
+        std::string op = "transpile";
+        if (request.isObject()) {
+            if (const json::Value *found = request.find("op")) {
+                if (!found->isString())
+                    throw RequestError("request",
+                                       "field 'op' must be a string");
+                op = found->asString();
+            }
+        }
+        if (op == "transpile")
+            return handleTranspile(request, id);
+        if (op == "stats")
+            return statsResponse(id);
+        if (op == "ping") {
+            json::Value v = okEnvelope(id);
+            v.set("kind", "pong");
+            return v;
+        }
+        if (op == "shutdown") {
+            beginShutdown();
+            json::Value v = okEnvelope(id);
+            v.set("kind", "shutdown");
+            v.set("draining", true);
+            return v;
+        }
+        throw RequestError("request", "unknown op '" + op +
+                                          "' (expected transpile, stats, "
+                                          "ping, or shutdown)");
+    } catch (const RequestError &e) {
+        return fail(e.code(), e.what());
+    } catch (const std::exception &e) {
+        return fail("internal", e.what());
+    }
+}
+
+std::string
+Engine::handle(const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::ParseError &e) {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.requests;
+        ++counters_.errors;
+        return errorResponse(json::Value(), "parse", e.what()).dump(0);
+    }
+    return handleValue(doc).dump(0);
+}
+
+// --- stdio transport --------------------------------------------------------
+
+uint64_t
+serveStdio(Engine &engine, std::istream &in, std::ostream &out)
+{
+    uint64_t handled = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        out << engine.handle(line) << "\n" << std::flush;
+        ++handled;
+        if (engine.shuttingDown())
+            break;
+    }
+    return handled;
+}
+
+// --- Unix-socket transport --------------------------------------------------
+
+namespace {
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+SocketServer::SocketServer(Engine &engine, std::string socket_path)
+    : engine_(engine), path_(std::move(socket_path))
+{
+}
+
+SocketServer::~SocketServer()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(path_.c_str());
+    }
+}
+
+void
+SocketServer::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path))
+        throw ServeError("socket path too long: '" + path_ + "'");
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        throw ServeError(std::string("socket(): ") + std::strerror(errno));
+
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (errno != EADDRINUSE) {
+            int e = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw ServeError("bind('" + path_ + "'): " + std::strerror(e));
+        }
+        // A socket file exists. Probe it: if nobody answers, it is a
+        // stale leftover from a dead server -- replace it. If a server
+        // answers, refuse to hijack the path.
+        int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        bool live = probe >= 0 &&
+                    ::connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                              sizeof(addr)) == 0;
+        if (probe >= 0)
+            ::close(probe);
+        if (live) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw ServeError("'" + path_ +
+                             "' already has a live server behind it");
+        }
+        ::unlink(path_.c_str());
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            int e = errno;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw ServeError("bind('" + path_ + "'): " + std::strerror(e));
+        }
+    }
+    if (::listen(listenFd_, 64) < 0) {
+        int e = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(path_.c_str());
+        throw ServeError("listen('" + path_ + "'): " + std::strerror(e));
+    }
+}
+
+void
+SocketServer::connectionLoop(Connection *conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buffer.append(chunk, size_t(n));
+        size_t pos;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, pos);
+            buffer.erase(0, pos + 1);
+            if (line.empty())
+                continue;
+            std::string response = engine_.handle(line);
+            response += '\n';
+            if (!sendAll(conn->fd, response)) {
+                open = false;
+                break;
+            }
+            if (engine_.shuttingDown()) {
+                // The shutdown response has been delivered; stop
+                // reading so run() can drain and exit.
+                open = false;
+                break;
+            }
+        }
+    }
+    conn->done.store(true);
+}
+
+void
+SocketServer::run()
+{
+    if (listenFd_ < 0)
+        start();
+
+    while (!stopRequested_.load() && !engine_.shuttingDown()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 100);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (r == 0) {
+            // Idle tick: reap connections whose client went away so a
+            // long-running server does not accumulate dead fds.
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (auto it = connections_.begin();
+                 it != connections_.end();) {
+                if ((*it)->done.load()) {
+                    if ((*it)->thread.joinable())
+                        (*it)->thread.join();
+                    ::close((*it)->fd);
+                    it = connections_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            continue;
+        }
+        int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *raw = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            connections_.push_back(std::move(conn));
+        }
+        raw->thread = std::thread([this, raw] { connectionLoop(raw); });
+    }
+
+    // Drain: stop listening, wake blocked readers (writes still flush),
+    // join every connection thread.
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(path_.c_str());
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto &conn : connections_)
+        if (!conn->done.load())
+            ::shutdown(conn->fd, SHUT_RD);
+    for (auto &conn : connections_) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+        ::close(conn->fd);
+    }
+    connections_.clear();
+}
+
+} // namespace mirage::serve

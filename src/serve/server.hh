@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The persistent transpilation service behind `mirage serve`.
+ *
+ * Engine is the transport-independent core: it owns ONE warm trial-grid
+ * thread pool, ONE persistent equivalence library per basis root, a
+ * topology cache, and a thread-safe LRU memo of full transpile results
+ * keyed by (circuit fingerprint, topology, options, format). handle()
+ * is safe to call from any number of connection threads concurrently;
+ * misses are funneled through a single dispatcher that batches
+ * compatible concurrent requests into one transpileMany() call, and
+ * identical in-flight requests are coalesced (single-flight) so a
+ * thundering herd computes each result once.
+ *
+ * Transports: SocketServer accepts newline-delimited JSON over a Unix
+ * domain socket (one thread per connection); serveStdio() runs the same
+ * protocol over a stream pair for tests and piping.
+ */
+
+#ifndef MIRAGE_SERVE_SERVER_HH
+#define MIRAGE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/exec.hh"
+#include "common/lru_cache.hh"
+#include "decomp/equivalence.hh"
+#include "serve/protocol.hh"
+
+namespace mirage::serve {
+
+/** Transport/bind failure (socket setup, stale path, ...). */
+class ServeError : public std::runtime_error
+{
+  public:
+    explicit ServeError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+/** Engine construction knobs (the `mirage serve` flags). */
+struct EngineOptions
+{
+    /** Trial-grid worker threads (0 = all cores). */
+    int threads = 0;
+    /** Result memo capacity, in full transpile reports. */
+    size_t cacheEntries = 256;
+    /** Max compatible requests folded into one transpileMany call. */
+    int maxBatch = 32;
+    /**
+     * Equivalence-library persistence directory: each root's library is
+     * loaded on first use and saved on engine shutdown, so a restarted
+     * server lowers warm. Empty = in-memory only.
+     */
+    std::string cacheDir;
+};
+
+/**
+ * Monotonic service counters. Everything except `coalesced`,
+ * `batches`, and `maxBatchSize` is deterministic for a deterministic
+ * request sequence (coalescing/batch composition depend on arrival
+ * timing; the rest do not).
+ */
+struct EngineCounters
+{
+    uint64_t requests = 0;        ///< lines handled (any op)
+    uint64_t transpiles = 0;      ///< circuits actually transpiled
+    uint64_t cacheHits = 0;       ///< memo hits
+    uint64_t cacheMisses = 0;     ///< memo misses (owner of the compute)
+    uint64_t coalesced = 0;       ///< waited on an identical in-flight miss
+    uint64_t batches = 0;         ///< transpileMany groups dispatched
+    uint64_t batchedRequests = 0; ///< total circuits across all groups
+    uint64_t maxBatchSize = 0;    ///< largest group so far
+    uint64_t errors = 0;          ///< error responses produced
+};
+
+/** The transport-independent serving core (see file comment). */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions opts = {});
+    /** Drains in-flight work, then persists libraries (cacheDir set). */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Handle one request line; always returns a single-line JSON
+     * response and never throws (every failure becomes a structured
+     * error response). Thread-safe; blocks until the result is ready.
+     */
+    std::string handle(const std::string &line);
+
+    /** handle() on an already parsed document (in-process callers). */
+    json::Value handleValue(const json::Value &request);
+
+    /**
+     * Stop accepting transpile work: subsequent transpile requests get
+     * a "shutdown" error response while stats/ping keep answering.
+     * Requests already accepted still complete (the destructor blocks
+     * until the queue is drained). Idempotent.
+     */
+    void beginShutdown();
+    bool shuttingDown() const { return shuttingDown_.load(); }
+
+    /** Snapshot of the service counters. */
+    EngineCounters counters() const;
+
+    int poolThreads() const { return pool_.numThreads(); }
+
+  private:
+    /** One memoized result: the report (json) or circuit (qasm). */
+    struct CachedEntry
+    {
+        std::string format; ///< "json" or "qasm"
+        json::Value report; ///< format == "json"
+        std::string qasm;   ///< format == "qasm"
+    };
+    using EntryPtr = std::shared_ptr<const CachedEntry>;
+
+    /** Single-flight rendezvous for one in-flight cache key. */
+    struct Inflight
+    {
+        std::promise<EntryPtr> promise;
+        std::shared_future<EntryPtr> future;
+    };
+
+    /** One queued transpile awaiting the dispatcher. */
+    struct Job
+    {
+        circuit::Circuit circuit;
+        std::shared_ptr<const topology::CouplingMap> topology;
+        mirage_pass::TranspileOptions options;
+        /** Requests sharing this key are transpileMany-compatible. */
+        std::string groupKey;
+        std::promise<mirage_pass::TranspileResult> promise;
+    };
+
+    json::Value handleTranspile(const json::Value &doc,
+                                const json::Value &id);
+    json::Value statsResponse(const json::Value &id) const;
+
+    /** Resolve+cache a topology spec (throws RequestError on bad spec). */
+    std::shared_ptr<const topology::CouplingMap>
+    resolveTopology(const std::string &spec, int min_qubits);
+
+    /** Per-root persistent library (created on first use). */
+    decomp::EquivalenceLibrary *libraryFor(int root_degree);
+
+    /** Enqueue a job for the dispatcher; throws RequestError("shutdown")
+     * when the engine is draining. */
+    std::future<mirage_pass::TranspileResult>
+    enqueueJob(std::unique_ptr<Job> job);
+
+    void dispatcherLoop();
+
+    EngineOptions opts_;
+    exec::ThreadPool pool_;
+
+    mutable std::mutex libMutex_;
+    std::map<int, std::unique_ptr<decomp::EquivalenceLibrary>> libraries_;
+
+    mutable std::mutex topoMutex_;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const topology::CouplingMap>>
+        topologies_;
+
+    mutable std::mutex cacheMutex_;
+    LruCache<std::string, EntryPtr> cache_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> pending_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueReady_;
+    std::deque<std::unique_ptr<Job>> queue_;
+    bool stopping_ = false; ///< dispatcher exit flag (destructor only)
+    std::atomic<bool> shuttingDown_{false};
+
+    mutable std::mutex countersMutex_;
+    EngineCounters counters_;
+
+    std::thread dispatcher_;
+};
+
+/**
+ * Serve newline-delimited requests from `in` to `out` until EOF or a
+ * shutdown request. Sequential (one request at a time); used by
+ * `mirage serve --stdio` and tests. Returns the number of requests.
+ */
+uint64_t serveStdio(Engine &engine, std::istream &in, std::ostream &out);
+
+/** Unix-domain-socket front end (one thread per connection). */
+class SocketServer
+{
+  public:
+    /** Does not bind yet; start() does. */
+    SocketServer(Engine &engine, std::string socket_path);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Bind + listen on the socket path. A stale socket file (no server
+     * behind it) is replaced; a live one raises ServeError.
+     */
+    void start();
+
+    /**
+     * Accept/serve until stop(), engine shutdown, or a shutdown
+     * request. Joins every connection thread before returning.
+     */
+    void run();
+
+    /** Ask run() to return (safe from other threads/signal context). */
+    void stop() { stopRequested_.store(true); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void connectionLoop(Connection *conn);
+
+    Engine &engine_;
+    std::string path_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopRequested_{false};
+    std::mutex connMutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+} // namespace mirage::serve
+
+#endif // MIRAGE_SERVE_SERVER_HH

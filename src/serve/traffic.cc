@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Traffic-generator implementation: deterministic synthetic circuits,
+ * the two-phase warmup/drive workload over either transport, artifact
+ * assembly, and the exact-counter regression check.
+ */
+
+#include "serve/traffic.hh"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "circuit/qasm.hh"
+#include "common/rng.hh"
+#include "serve/server.hh"
+
+namespace mirage::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** Uniform double in [0, 2*pi) from one rng draw. */
+double
+angleDraw(StreamRng &rng)
+{
+    return double(rng() >> 11) * 0x1.0p-53 * 2.0 * linalg::kPi;
+}
+
+} // namespace
+
+std::string
+syntheticQasm(int index, int width, int two_qubit_gates, uint64_t seed)
+{
+    StreamRng rng(seed, 0x7261666669636bULL + uint64_t(index));
+    circuit::Circuit c(width, "traffic" + std::to_string(index));
+    for (int q = 0; q < width; ++q)
+        c.h(q);
+    for (int g = 0; g < two_qubit_gates; ++g) {
+        int a = int(rng() % uint64_t(width));
+        int b = int(rng() % uint64_t(width - 1));
+        if (b >= a)
+            ++b;
+        c.rz(angleDraw(rng), a);
+        c.ry(angleDraw(rng), b);
+        c.cx(a, b);
+    }
+    return circuit::toQasm(c);
+}
+
+namespace {
+
+/** The transpile request line for circuit #index of the workload. */
+std::string
+requestLine(const TrafficOptions &o, int index, const std::string &qasm,
+            int request_id)
+{
+    json::Value req = json::Value::object();
+    req.set("id", request_id);
+    req.set("op", "transpile");
+    req.set("name", "traffic" + std::to_string(index));
+    req.set("qasm", qasm);
+    json::Value opts = json::Value::object();
+    opts.set("topology", o.topology);
+    opts.set("trials", o.trials);
+    opts.set("swapTrials", o.swapTrials);
+    opts.set("fwdBwd", o.fwdBwd);
+    opts.set("seed", o.seed);
+    opts.set("aggression", o.aggression);
+    opts.set("lower", o.lower);
+    req.set("options", std::move(opts));
+    return req.dump(0);
+}
+
+uint64_t
+counterOf(const json::Value &report, const char *name)
+{
+    const json::Value *result = report.find("result");
+    if (!result)
+        return 0;
+    const json::Value *counters = result->find("routingCounters");
+    if (!counters)
+        return 0;
+    const json::Value *v = counters->find(name);
+    return v && v->isNumber() ? uint64_t(v->asNumber()) : 0;
+}
+
+} // namespace
+
+json::Value
+runTraffic(const TrafficOptions &o, std::ostream &log)
+{
+    const bool overSocket = !o.socketPath.empty();
+
+    // The in-process engine (unused over a socket). The memo must hold
+    // the whole distinct set or drive-phase hits stop being exact.
+    EngineOptions eopts;
+    eopts.threads = o.engineThreads;
+    eopts.cacheEntries = std::max<size_t>(256, size_t(o.distinct) * 4);
+    std::unique_ptr<Engine> engine;
+    if (!overSocket)
+        engine = std::make_unique<Engine>(eopts);
+
+    // call(): one request line -> one response line, whatever the
+    // transport. Over the socket each thread makes its own client.
+    auto makeCall = [&]() -> std::function<std::string(const std::string &)> {
+        if (!overSocket) {
+            Engine *e = engine.get();
+            return [e](const std::string &line) { return e->handle(line); };
+        }
+        auto client = std::make_shared<SocketClient>(o.socketPath);
+        return [client](const std::string &line) {
+            return client->roundTrip(line);
+        };
+    };
+
+    std::vector<std::string> qasm(size_t(o.distinct));
+    for (int k = 0; k < o.distinct; ++k)
+        qasm[size_t(k)] =
+            syntheticQasm(k, o.width, o.twoQubitGates, o.seed);
+
+    // --- phase 1: warmup (sequential; every circuit misses once) ----------
+    log << "mirage: serve-bench warmup: " << o.distinct
+        << " distinct circuits on " << o.topology << "...\n";
+    auto warmCall = makeCall();
+    std::vector<std::string> referenceReports(size_t(o.distinct));
+    uint64_t warmupMisses = 0, warmupErrors = 0;
+    uint64_t heuristicEvals = 0, swapCandidates = 0, mirrorOutlooks = 0;
+    const auto warmupStart = Clock::now();
+    for (int k = 0; k < o.distinct; ++k) {
+        const std::string response =
+            warmCall(requestLine(o, k, qasm[size_t(k)], k));
+        json::Value doc = json::parse(response);
+        if (!doc["ok"].asBool()) {
+            ++warmupErrors;
+            continue;
+        }
+        if (!doc["cache"]["hit"].asBool())
+            ++warmupMisses;
+        const json::Value &report = doc["report"];
+        referenceReports[size_t(k)] = report.dump(0);
+        heuristicEvals += counterOf(report, "heuristicEvals");
+        swapCandidates += counterOf(report, "swapCandidates");
+        mirrorOutlooks += counterOf(report, "mirrorOutlooks");
+    }
+    const double warmupMs = msSince(warmupStart);
+
+    // --- phase 2: drive (N clients, all requests memo hits) ---------------
+    const int driveTotal = o.clients * o.requestsPerClient;
+    log << "mirage: serve-bench drive: " << o.clients << " clients x "
+        << o.requestsPerClient << " requests...\n";
+    std::vector<std::thread> clients;
+    std::mutex mergeMutex;
+    std::vector<double> latenciesMs;
+    latenciesMs.reserve(size_t(driveTotal));
+    uint64_t driveHits = 0, driveErrors = 0;
+    bool bitIdentical = true;
+    const auto driveStart = Clock::now();
+    for (int i = 0; i < o.clients; ++i) {
+        clients.emplace_back([&, i] {
+            auto call = makeCall();
+            std::vector<double> local;
+            local.reserve(size_t(o.requestsPerClient));
+            uint64_t hits = 0, errors = 0;
+            bool identical = true;
+            for (int j = 0; j < o.requestsPerClient; ++j) {
+                const int k = (i + j) % o.distinct;
+                const std::string line = requestLine(
+                    o, k, qasm[size_t(k)], 1000 + i * 1000 + j);
+                const auto t0 = Clock::now();
+                const std::string response = call(line);
+                local.push_back(msSince(t0));
+                json::Value doc = json::parse(response);
+                if (!doc["ok"].asBool()) {
+                    ++errors;
+                    continue;
+                }
+                if (doc["cache"]["hit"].asBool())
+                    ++hits;
+                if (doc["report"].dump(0) != referenceReports[size_t(k)])
+                    identical = false;
+            }
+            std::lock_guard<std::mutex> lock(mergeMutex);
+            latenciesMs.insert(latenciesMs.end(), local.begin(),
+                               local.end());
+            driveHits += hits;
+            driveErrors += errors;
+            bitIdentical = bitIdentical && identical;
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const double driveMs = msSince(driveStart);
+
+    // Engine-side snapshot (stats op works over both transports).
+    json::Value stats;
+    {
+        auto call = makeCall();
+        stats = json::parse(call("{\"op\": \"stats\"}"));
+    }
+
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    auto percentile = [&latenciesMs](double p) {
+        if (latenciesMs.empty())
+            return 0.0;
+        size_t idx = size_t(p * double(latenciesMs.size() - 1));
+        return latenciesMs[idx];
+    };
+
+    json::Value doc = json::Value::object();
+    doc.set("schemaVersion", kProtocolVersion);
+    doc.set("kind", kServeBenchKind);
+    {
+        json::Value p = json::Value::object();
+        p.set("clients", o.clients);
+        p.set("requestsPerClient", o.requestsPerClient);
+        p.set("distinctCircuits", o.distinct);
+        p.set("width", o.width);
+        p.set("twoQubitGates", o.twoQubitGates);
+        p.set("topology", o.topology);
+        p.set("trials", o.trials);
+        p.set("swapTrials", o.swapTrials);
+        p.set("fwdBwd", o.fwdBwd);
+        p.set("seed", o.seed);
+        p.set("aggression", o.aggression);
+        p.set("lower", o.lower);
+        doc.set("parameters", std::move(p));
+    }
+    {
+        // Exact, machine- and thread-count-invariant: what --check
+        // gates. A drift here is a behavior change, never noise.
+        json::Value c = json::Value::object();
+        c.set("requests", uint64_t(o.distinct) + uint64_t(driveTotal));
+        c.set("warmupMisses", warmupMisses);
+        c.set("driveHits", driveHits);
+        c.set("errors", warmupErrors + driveErrors);
+        c.set("bitIdentical", bitIdentical);
+        c.set("heuristicEvals", heuristicEvals);
+        c.set("swapCandidates", swapCandidates);
+        c.set("mirrorOutlooks", mirrorOutlooks);
+        doc.set("counters", std::move(c));
+    }
+    {
+        // Engine-side view: transpiles is exact for a fresh server
+        // (= distinct circuits); coalesced/batches depend on arrival
+        // timing, so they live here, uncompared.
+        json::Value s = json::Value::object();
+        if (const json::Value *counters = stats.find("counters")) {
+            for (const auto &[key, value] : counters->members())
+                s.set(key, value);
+        }
+        s.set("transport", overSocket ? "socket" : "in-process");
+        doc.set("informational", std::move(s));
+    }
+    {
+        json::Value t = json::Value::object();
+        t.set("warmupMs", warmupMs);
+        t.set("driveMs", driveMs);
+        t.set("requestsPerSec",
+              driveMs > 0 ? double(driveTotal) * 1000.0 / driveMs : 0.0);
+        t.set("p50Ms", percentile(0.50));
+        t.set("p99Ms", percentile(0.99));
+        t.set("maxMs", latenciesMs.empty() ? 0.0 : latenciesMs.back());
+        doc.set("timing", std::move(t));
+    }
+    log << "mirage: serve-bench: " << (o.distinct + driveTotal)
+        << " requests, " << driveHits << "/" << driveTotal
+        << " drive hits, bitIdentical="
+        << (bitIdentical ? "true" : "false") << "\n";
+    return doc;
+}
+
+bool
+checkServeArtifact(const json::Value &current, const json::Value &baseline,
+                   std::string *report)
+{
+    auto fail = [report](const std::string &message) {
+        if (report) {
+            *report += message;
+            *report += "\n";
+        }
+        return false;
+    };
+
+    bool ok = true;
+    for (const char *section : {"parameters", "counters"}) {
+        const json::Value *cur = current.find(section);
+        const json::Value *base = baseline.find(section);
+        if (!cur || !base) {
+            ok = fail(std::string("serve-bench check: missing '") +
+                      section + "' section");
+            continue;
+        }
+        // Exact key-by-key comparison in both directions: a missing,
+        // added, or changed key is a schema/behavior drift.
+        for (const auto &[key, value] : base->members()) {
+            const json::Value *now = cur->find(key);
+            if (!now) {
+                ok = fail(std::string("serve-bench check: ") + section +
+                          "." + key + " missing from current artifact");
+                continue;
+            }
+            if (now->dump(0) != value.dump(0))
+                ok = fail(std::string("serve-bench check: ") + section +
+                          "." + key + " = " + now->dump(0) +
+                          " (baseline " + value.dump(0) + ")");
+        }
+        for (const auto &[key, value] : cur->members()) {
+            (void)value;
+            if (!base->find(key))
+                ok = fail(std::string("serve-bench check: ") + section +
+                          "." + key + " not present in baseline");
+        }
+    }
+    return ok;
+}
+
+// --- SocketClient -----------------------------------------------------------
+
+SocketClient::SocketClient(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        throw ServeError("socket path too long: '" + socket_path + "'");
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        throw ServeError(std::string("socket(): ") + std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int e = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw ServeError("connect('" + socket_path +
+                         "'): " + std::strerror(e));
+    }
+}
+
+SocketClient::~SocketClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+SocketClient::roundTrip(const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServeError(std::string("send(): ") +
+                             std::strerror(errno));
+        }
+        off += size_t(n);
+    }
+    for (;;) {
+        size_t pos = buffer_.find('\n');
+        if (pos != std::string::npos) {
+            std::string response = buffer_.substr(0, pos);
+            buffer_.erase(0, pos + 1);
+            return response;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            throw ServeError("server closed the connection mid-response");
+        buffer_.append(chunk, size_t(n));
+    }
+}
+
+} // namespace mirage::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Synthetic traffic generator + throughput/latency artifact for the
+ * serve engine (`mirage serve-bench`).
+ *
+ * The workload is a two-phase deterministic pattern chosen so the
+ * interesting counters are exact and machine-invariant, which lets CI
+ * gate them like BENCH_fig13.json:
+ *
+ *   1. warmup -- the D distinct synthetic circuits are requested once
+ *      each, sequentially: exactly D memo misses and D transpiles, and
+ *      the summed deterministic routing counters of those transpiles.
+ *   2. drive  -- N client threads each fire R requests round-robin
+ *      over the same D circuits: exactly N*R memo hits, every response
+ *      byte-identical to its warmup report (`bitIdentical`).
+ *
+ * Requests/sec and p50/p99/max latency are measured over the drive
+ * phase and recorded as informational timing (never gated). The
+ * generator can drive an in-process Engine (default; what `--check`
+ * gates) or a live `mirage serve` instance over its Unix socket.
+ */
+
+#ifndef MIRAGE_SERVE_TRAFFIC_HH
+#define MIRAGE_SERVE_TRAFFIC_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/json.hh"
+
+namespace mirage::serve {
+
+/** The artifact's `kind` tag. */
+inline constexpr const char *kServeBenchKind = "mirage-serve-bench";
+
+/** Workload + engine knobs for one traffic run. */
+struct TrafficOptions
+{
+    int clients = 8;           ///< concurrent drive-phase clients
+    int requestsPerClient = 6; ///< drive requests per client
+    int distinct = 4;          ///< distinct synthetic circuits
+    int width = 5;             ///< qubits per synthetic circuit
+    int twoQubitGates = 18;    ///< entangling gates per circuit
+    std::string topology = "grid3x3";
+    int trials = 4;
+    int swapTrials = 2;
+    int fwdBwd = 2;
+    uint64_t seed = 20240229;
+    int aggression = -1;
+    bool lower = false;
+    /** In-process engine pool size (0 = all cores). */
+    int engineThreads = 0;
+    /** Non-empty: drive a live server at this socket instead of an
+     * in-process engine (timings include the transport). */
+    std::string socketPath;
+};
+
+/**
+ * Deterministic synthetic request circuit #index: seeded layered
+ * random 1Q rotations + CNOTs (pure function of index/width/gates/
+ * seed, identical on every platform).
+ */
+std::string syntheticQasm(int index, int width, int two_qubit_gates,
+                          uint64_t seed);
+
+/**
+ * Run the two-phase workload; progress goes to `log`. Returns the
+ * serve-bench artifact: {schemaVersion, kind, parameters, counters
+ * (exact -- see file comment), server (engine-side snapshot),
+ * informational, timing}. Throws ServeError when a socket target is
+ * unreachable.
+ */
+json::Value runTraffic(const TrafficOptions &opts, std::ostream &log);
+
+/**
+ * Regression gate for `mirage serve-bench --check`: `parameters` and
+ * `counters` must match the baseline EXACTLY (they are deterministic;
+ * any drift is a behavior change, not noise). Timing and the
+ * `informational` block are never compared. Returns false and
+ * explains into *report on mismatch.
+ */
+bool checkServeArtifact(const json::Value &current,
+                        const json::Value &baseline, std::string *report);
+
+/**
+ * Minimal line-oriented client for the serve socket protocol (used by
+ * the traffic generator, tests, and scripting).
+ */
+class SocketClient
+{
+  public:
+    /** Connects immediately; throws ServeError on failure. */
+    explicit SocketClient(const std::string &socket_path);
+    ~SocketClient();
+
+    SocketClient(const SocketClient &) = delete;
+    SocketClient &operator=(const SocketClient &) = delete;
+
+    /**
+     * Send one request line, block for one response line. Throws
+     * ServeError on a broken connection.
+     */
+    std::string roundTrip(const std::string &line);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace mirage::serve
+
+#endif // MIRAGE_SERVE_TRAFFIC_HH

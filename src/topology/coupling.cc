@@ -538,4 +538,61 @@ CouplingMap::heavyHex1121()
     return CouplingMap(n + 5, std::move(e), "heavyhex-1121");
 }
 
+const char *
+CouplingMap::specForms()
+{
+    return "grid<R>x<C>, line<N>, ring<N>, heavyhex57, heavyhex433, "
+           "heavyhex1121, alltoall<N>, or auto";
+}
+
+CouplingMap
+CouplingMap::parseSpec(const std::string &spec, int min_qubits)
+{
+    auto intSuffix = [&spec](size_t prefix_len, int *value) {
+        const std::string tail = spec.substr(prefix_len);
+        if (tail.empty() ||
+            tail.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        *value = std::atoi(tail.c_str());
+        return *value > 0;
+    };
+
+    if (spec == "auto") {
+        int side = 1;
+        while (side * side < min_qubits)
+            ++side;
+        return grid(side, side);
+    }
+    if (spec == "heavyhex57")
+        return heavyHex57();
+    if (spec == "heavyhex433")
+        return heavyHex433();
+    if (spec == "heavyhex1121")
+        return heavyHex1121();
+    if (spec.rfind("grid", 0) == 0) {
+        size_t x = spec.find('x', 4);
+        if (x != std::string::npos) {
+            const std::string rows = spec.substr(4, x - 4);
+            const std::string cols = spec.substr(x + 1);
+            if (!rows.empty() && !cols.empty() &&
+                rows.find_first_not_of("0123456789") == std::string::npos &&
+                cols.find_first_not_of("0123456789") == std::string::npos) {
+                int r = std::atoi(rows.c_str());
+                int c = std::atoi(cols.c_str());
+                if (r > 0 && c > 0)
+                    return grid(r, c);
+            }
+        }
+    }
+    int n = 0;
+    if (spec.rfind("line", 0) == 0 && intSuffix(4, &n))
+        return line(n);
+    if (spec.rfind("ring", 0) == 0 && intSuffix(4, &n))
+        return ring(n);
+    if (spec.rfind("alltoall", 0) == 0 && intSuffix(8, &n))
+        return allToAll(n);
+    throw std::invalid_argument("unknown topology '" + spec +
+                                "' (expected " + specForms() + ")");
+}
+
 } // namespace mirage::topology

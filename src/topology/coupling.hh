@@ -211,6 +211,18 @@ class CouplingMap
     /** 1121-qubit heavy-hex (IBM Condor scale); sparse storage. */
     static CouplingMap heavyHex1121();
 
+    /**
+     * Parse a device spec string shared by the CLI and the serve
+     * request schema: grid<R>x<C>, line<N>, ring<N>, heavyhex57,
+     * heavyhex433, heavyhex1121, alltoall<N>, or "auto" (the smallest
+     * square grid with at least `min_qubits` sites). Throws
+     * std::invalid_argument (listing the accepted forms) on anything
+     * else; callers map that to their own usage-error type.
+     */
+    static CouplingMap parseSpec(const std::string &spec, int min_qubits);
+    /** The accepted parseSpec() forms, for help text and errors. */
+    static const char *specForms();
+
   private:
     void buildDerived(bool force_sparse);
     /** BFS from src over the CSR adjacency into dist[0..n), which must

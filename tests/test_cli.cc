@@ -251,6 +251,106 @@ TEST(CliTranspile, TopologyTooSmallFails)
     EXPECT_NE(r.err.find("qubits"), std::string::npos);
 }
 
+TEST(CliTranspile, NumericFlagsOutOfRangeAreUsageErrors)
+{
+    // Every rejection must be exit code 2 (usage) with a message that
+    // names the offending flag -- never a crash, a hang, or a silent
+    // fallback to a default.
+    const struct
+    {
+        std::vector<std::string> extra;
+        const char *needle;
+    } cases[] = {
+        {{"--trials", "0"}, "--trials"},
+        {{"--trials", "-3"}, "--trials"},
+        {{"--swap-trials", "0"}, "--swap-trials"},
+        {{"--fwd-bwd", "-1"}, "--fwd-bwd"},
+        {{"--threads", "-1"}, "--threads"},
+        {{"--root", "1"}, "--root"},
+        {{"--aggression", "4"}, "--aggression"},
+        {{"--aggression", "-2"}, "--aggression"},
+    };
+    for (const auto &c : cases) {
+        std::vector<std::string> args = {"transpile", qft4Path()};
+        args.insert(args.end(), c.extra.begin(), c.extra.end());
+        auto r = runCli(args);
+        EXPECT_EQ(r.code, cli::kExitUsage)
+            << c.extra[0] << " " << c.extra[1];
+        EXPECT_NE(r.err.find(c.needle), std::string::npos) << r.err;
+    }
+}
+
+TEST(CliTranspile, UncreatableCacheDirIsUsageError)
+{
+    // A regular file where a directory component should be: the cache
+    // dir can never be created, so the run must stop up front with a
+    // usage error instead of transpiling and failing to persist.
+    const std::string file = tempPath("cache_blocker");
+    writeFile(file, "not a directory");
+    auto r = runCli({"transpile", qft4Path(), "--lower", "--cache",
+                     file + "/sub"});
+    EXPECT_EQ(r.code, cli::kExitUsage);
+    EXPECT_NE(r.err.find("--cache"), std::string::npos) << r.err;
+
+    // sweep shares the same validation.
+    auto s = runCli({"sweep", "--experiment", "table3", "--cache",
+                     file + "/sub"});
+    EXPECT_EQ(s.code, cli::kExitUsage);
+    EXPECT_NE(s.err.find("--cache"), std::string::npos) << s.err;
+}
+
+// --- serve flags ------------------------------------------------------------
+
+TEST(CliServe, TransportAndNumericFlagValidation)
+{
+    auto none = runCli({"serve"});
+    EXPECT_EQ(none.code, cli::kExitUsage);
+    EXPECT_NE(none.err.find("--socket"), std::string::npos);
+
+    auto both = runCli({"serve", "--socket", "/tmp/x.sock", "--stdio"});
+    EXPECT_EQ(both.code, cli::kExitUsage);
+
+    auto badThreads = runCli({"serve", "--stdio", "--threads", "-2"});
+    EXPECT_EQ(badThreads.code, cli::kExitUsage);
+    EXPECT_NE(badThreads.err.find("--threads"), std::string::npos);
+
+    auto badEntries = runCli({"serve", "--stdio", "--cache-entries", "0"});
+    EXPECT_EQ(badEntries.code, cli::kExitUsage);
+    EXPECT_NE(badEntries.err.find("--cache-entries"), std::string::npos);
+
+    auto badBatch = runCli({"serve", "--stdio", "--max-batch", "0"});
+    EXPECT_EQ(badBatch.code, cli::kExitUsage);
+    EXPECT_NE(badBatch.err.find("--max-batch"), std::string::npos);
+}
+
+TEST(CliServeBench, NumericFlagValidation)
+{
+    const struct
+    {
+        std::vector<std::string> extra;
+        const char *needle;
+    } cases[] = {
+        {{"--clients", "0"}, "--clients"},
+        {{"--requests", "-1"}, "--requests"},
+        {{"--distinct", "0"}, "--distinct"},
+        {{"--width", "1"}, "--width"},
+        {{"--gates", "0"}, "--gates"},
+        {{"--trials", "0"}, "--trials"},
+        {{"--swap-trials", "0"}, "--swap-trials"},
+        {{"--fwd-bwd", "-1"}, "--fwd-bwd"},
+        {{"--aggression", "5"}, "--aggression"},
+        {{"--threads", "-1"}, "--threads"},
+    };
+    for (const auto &c : cases) {
+        std::vector<std::string> args = {"serve-bench"};
+        args.insert(args.end(), c.extra.begin(), c.extra.end());
+        auto r = runCli(args);
+        EXPECT_EQ(r.code, cli::kExitUsage)
+            << c.extra[0] << " " << c.extra[1];
+        EXPECT_NE(r.err.find(c.needle), std::string::npos) << r.err;
+    }
+}
+
 TEST(CliTranspile, JsonReportSchemaAndDeterminism)
 {
     std::vector<std::string> args = {"transpile", qft4Path(),

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the `mirage serve` persistent transpilation service: the
+ * protocol layer (request validation, fingerprints, cache keys), the
+ * engine (memoization, single-flight coalescing, structured errors,
+ * shutdown draining), concurrent-client bit-identity against one-shot
+ * `mirage transpile` output, the Unix-socket transport, and the
+ * serve-bench artifact's deterministic --check gate. The concurrent
+ * cases carry the `concurrency` ctest label so the TSan job exercises
+ * the engine's locking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hh"
+#include "circuit/qasm.hh"
+#include "common/json.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/traffic.hh"
+
+using namespace mirage;
+
+namespace {
+
+/** A 3-qubit circuit whose CX triangle forces routing on grid-2x2. */
+const char *const kQasm =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[3];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+    "cx q[1],q[2];\n"
+    "cx q[0],q[2];\n";
+
+/** Build a transpile request line with the test's default options. */
+std::string
+requestLine(int id, const std::string &qasm = kQasm,
+            const std::string &extraOptions = "")
+{
+    json::Value doc = json::Value::object();
+    doc.set("id", id);
+    doc.set("qasm", qasm);
+    json::Value opts = json::parse(
+        extraOptions.empty() ? "{\"trials\":2,\"swapTrials\":1}"
+                             : extraOptions);
+    doc.set("options", std::move(opts));
+    return doc.dump(0);
+}
+
+json::Value
+handleParsed(serve::Engine &engine, const std::string &line)
+{
+    return json::parse(engine.handle(line));
+}
+
+std::string
+tempDir(const std::string &name)
+{
+    std::string dir = testing::TempDir() + name;
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+} // namespace
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(ServeProtocol, ParseRequestRejectsUnknownFieldsAndBadRanges)
+{
+    auto parse = [](const std::string &text) {
+        return serve::parseTranspileRequest(json::parse(text));
+    };
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"bogus\":1}"),
+                 serve::RequestError);
+    EXPECT_THROW(parse("{}"), serve::RequestError); // no qasm
+    EXPECT_THROW(parse("{\"qasm\":1}"), serve::RequestError);
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"options\":{\"trials\":0}}"),
+                 serve::RequestError);
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"options\":{\"swapTrials\":-1}}"),
+                 serve::RequestError);
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"options\":{\"aggression\":4}}"),
+                 serve::RequestError);
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"options\":{\"root\":1}}"),
+                 serve::RequestError);
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"options\":{\"fwdBwd\":-1}}"),
+                 serve::RequestError);
+    EXPECT_THROW(parse("{\"qasm\":\"x\",\"options\":{\"nope\":1}}"),
+                 serve::RequestError);
+    EXPECT_THROW(
+        parse("{\"qasm\":\"x\",\"options\":{\"flow\":\"sobre\"}}"),
+        serve::RequestError);
+
+    serve::TranspileRequest req = parse(
+        "{\"id\":7,\"qasm\":\"x\",\"options\":{\"trials\":3,"
+        "\"topology\":\"line4\",\"format\":\"qasm\",\"seed\":11}}");
+    EXPECT_EQ(req.id.asInt(), 7);
+    EXPECT_EQ(req.options.layoutTrials, 3);
+    EXPECT_EQ(req.topology, "line4");
+    EXPECT_EQ(req.format, "qasm");
+    EXPECT_EQ(req.options.seed, 11u);
+}
+
+TEST(ServeProtocol, FingerprintSeparatesCircuitsAndParams)
+{
+    circuit::Circuit a = circuit::fromQasm(kQasm);
+    circuit::Circuit b = circuit::fromQasm(kQasm);
+    EXPECT_EQ(serve::circuitFingerprint(a), serve::circuitFingerprint(b));
+
+    circuit::Circuit c = circuit::fromQasm(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+        "h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[1],q[0];\n");
+    EXPECT_NE(serve::circuitFingerprint(a), serve::circuitFingerprint(c));
+
+    circuit::Circuit d = circuit::fromQasm(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
+        "rz(0.5) q[0];\n");
+    circuit::Circuit e = circuit::fromQasm(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
+        "rz(0.25) q[0];\n");
+    EXPECT_NE(serve::circuitFingerprint(d), serve::circuitFingerprint(e));
+}
+
+TEST(ServeProtocol, CacheKeyIgnoresThreadsButNotSeed)
+{
+    mirage_pass::TranspileOptions a, b;
+    a.threads = 1;
+    b.threads = 8;
+    EXPECT_EQ(serve::resultCacheKey(1, "grid-2x2", a, "json"),
+              serve::resultCacheKey(1, "grid-2x2", b, "json"));
+    b.seed = a.seed + 1;
+    EXPECT_NE(serve::resultCacheKey(1, "grid-2x2", a, "json"),
+              serve::resultCacheKey(1, "grid-2x2", b, "json"));
+    EXPECT_NE(serve::resultCacheKey(1, "grid-2x2", a, "json"),
+              serve::resultCacheKey(1, "grid-2x2", a, "qasm"));
+    EXPECT_NE(serve::resultCacheKey(1, "grid-2x2", a, "json"),
+              serve::resultCacheKey(2, "grid-2x2", a, "json"));
+}
+
+// --- engine: memoization ----------------------------------------------------
+
+TEST(ServeEngine, RepeatRequestHitsTheMemoWithObservableCounters)
+{
+    serve::Engine engine;
+    json::Value first = handleParsed(engine, requestLine(1));
+    ASSERT_TRUE(first["ok"].asBool()) << engine.handle(requestLine(1));
+    EXPECT_FALSE(first["cache"]["hit"].asBool());
+    EXPECT_EQ(first["cache"]["misses"].asInt(), 1);
+    EXPECT_EQ(first["cache"]["hits"].asInt(), 0);
+
+    json::Value second = handleParsed(engine, requestLine(2));
+    ASSERT_TRUE(second["ok"].asBool());
+    EXPECT_TRUE(second["cache"]["hit"].asBool());
+    EXPECT_EQ(second["cache"]["hits"].asInt(), 1);
+    EXPECT_EQ(second["cache"]["misses"].asInt(), 1);
+
+    // Identical report, modulo the echoed id.
+    EXPECT_EQ(first["report"].dump(0), second["report"].dump(0));
+
+    // A different seed is a different key: miss again.
+    json::Value third = handleParsed(
+        engine, requestLine(3, kQasm,
+                            "{\"trials\":2,\"swapTrials\":1,\"seed\":9}"));
+    ASSERT_TRUE(third["ok"].asBool());
+    EXPECT_FALSE(third["cache"]["hit"].asBool());
+
+    serve::EngineCounters c = engine.counters();
+    EXPECT_EQ(c.requests, 3u);
+    EXPECT_EQ(c.transpiles, 2u);
+    EXPECT_EQ(c.cacheHits, 1u);
+    EXPECT_EQ(c.cacheMisses, 2u);
+    EXPECT_EQ(c.errors, 0u);
+}
+
+TEST(ServeEngine, QasmFormatReturnsCircuitText)
+{
+    serve::Engine engine;
+    json::Value resp = handleParsed(
+        engine,
+        requestLine(1, kQasm,
+                    "{\"trials\":2,\"swapTrials\":1,\"format\":\"qasm\"}"));
+    ASSERT_TRUE(resp["ok"].asBool());
+    const std::string qasm = resp["qasm"].asString();
+    EXPECT_NE(qasm.find("OPENQASM 2.0"), std::string::npos);
+    // The emitted text must parse back.
+    circuit::Circuit routed = circuit::fromQasm(qasm);
+    EXPECT_GE(routed.numQubits(), 3);
+}
+
+// --- engine: structured errors ----------------------------------------------
+
+TEST(ServeEngine, MalformedRequestsGetStructuredErrorsNotCrashes)
+{
+    serve::Engine engine;
+
+    json::Value bad = handleParsed(engine, "{\"op\": nope}");
+    EXPECT_FALSE(bad["ok"].asBool());
+    EXPECT_EQ(bad["error"]["code"].asString(), "parse");
+
+    json::Value badOp = handleParsed(engine, "{\"op\":\"launch\"}");
+    EXPECT_FALSE(badOp["ok"].asBool());
+    EXPECT_EQ(badOp["error"]["code"].asString(), "request");
+
+    json::Value badField =
+        handleParsed(engine, "{\"id\":4,\"qasm\":\"x\",\"bogus\":true}");
+    EXPECT_FALSE(badField["ok"].asBool());
+    EXPECT_EQ(badField["error"]["code"].asString(), "request");
+    EXPECT_EQ(badField["id"].asInt(), 4); // id echoed even on failure
+
+    json::Value badQasm = handleParsed(
+        engine, requestLine(5, "OPENQASM 2.0;\nqreg q[2];\nfrobnicate;"));
+    EXPECT_FALSE(badQasm["ok"].asBool());
+    EXPECT_EQ(badQasm["error"]["code"].asString(), "qasm");
+
+    json::Value badTopo = handleParsed(
+        engine,
+        requestLine(6, kQasm,
+                    "{\"trials\":1,\"swapTrials\":1,"
+                    "\"topology\":\"line2\"}"));
+    EXPECT_FALSE(badTopo["ok"].asBool());
+    EXPECT_EQ(badTopo["error"]["code"].asString(), "input");
+
+    // The engine is still healthy after the error burst.
+    json::Value good = handleParsed(engine, requestLine(7));
+    EXPECT_TRUE(good["ok"].asBool());
+    EXPECT_EQ(engine.counters().errors, 5u);
+}
+
+// --- engine: shutdown -------------------------------------------------------
+
+TEST(ServeEngine, ShutdownRejectsNewWorkButStatsKeepAnswering)
+{
+    serve::Engine engine;
+    ASSERT_TRUE(handleParsed(engine, requestLine(1))["ok"].asBool());
+
+    json::Value bye = handleParsed(engine, "{\"op\":\"shutdown\"}");
+    EXPECT_TRUE(bye["ok"].asBool());
+    EXPECT_TRUE(engine.shuttingDown());
+
+    json::Value rejected = handleParsed(engine, requestLine(2));
+    EXPECT_FALSE(rejected["ok"].asBool());
+    EXPECT_EQ(rejected["error"]["code"].asString(), "shutdown");
+
+    json::Value stats = handleParsed(engine, "{\"op\":\"stats\"}");
+    EXPECT_TRUE(stats["ok"].asBool());
+    EXPECT_TRUE(stats["shuttingDown"].asBool());
+}
+
+TEST(ServeEngine, StdioTransportStopsAfterShutdownRequest)
+{
+    serve::Engine engine;
+    std::istringstream in(requestLine(1) + "\n{\"op\":\"shutdown\"}\n" +
+                          requestLine(2) + "\n");
+    std::ostringstream out;
+    const uint64_t handled = serve::serveStdio(engine, in, out);
+    // The line after shutdown is never read.
+    EXPECT_EQ(handled, 2u);
+    EXPECT_NE(out.str().find("\"draining\":true"), std::string::npos);
+}
+
+// --- engine: concurrency ----------------------------------------------------
+
+TEST(ServeEngine, ConcurrentClientsAreBitIdenticalToOneShotTranspile)
+{
+    // One-shot ground truth through the real CLI path (same default
+    // options as requestLine: trials=2, swapTrials=1).
+    const std::string qasmPath = testing::TempDir() + "serve_ident.qasm";
+    {
+        std::ofstream f(qasmPath);
+        ASSERT_TRUE(f.is_open());
+        f << kQasm;
+    }
+    std::ostringstream cliOut, cliErr;
+    int code = cli::run({"transpile", qasmPath, "--trials", "2",
+                         "--swap-trials", "1"},
+                        cliOut, cliErr);
+    ASSERT_EQ(code, 0) << cliErr.str();
+    json::Value oneShot = json::parse(cliOut.str());
+
+    serve::Engine engine;
+    constexpr int kClients = 8;
+    std::vector<std::string> responses(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&engine, &responses, i] {
+            responses[i] = engine.handle(requestLine(i));
+        });
+    for (auto &t : clients)
+        t.join();
+
+    int okCount = 0;
+    for (int i = 0; i < kClients; ++i) {
+        json::Value resp = json::parse(responses[i]);
+        ASSERT_TRUE(resp["ok"].asBool()) << responses[i];
+        ++okCount;
+        json::Value report = resp["report"];
+        // The serve report labels the input "<request>"; align it with
+        // the one-shot's file label, then demand byte equality.
+        json::Value in = report["input"];
+        in.set("file", qasmPath);
+        report.set("input", std::move(in));
+        EXPECT_EQ(report.dump(2), oneShot.dump(2)) << "client " << i;
+    }
+    EXPECT_EQ(okCount, kClients);
+
+    // Every client observed the same key: exactly one compute, and
+    // hits + coalesced + misses account for all of them.
+    serve::EngineCounters c = engine.counters();
+    EXPECT_EQ(c.transpiles, 1u);
+    EXPECT_EQ(c.cacheMisses, 1u);
+    EXPECT_EQ(c.cacheHits + c.coalesced + c.cacheMisses,
+              uint64_t(kClients));
+}
+
+TEST(ServeEngine, MixedConcurrentRequestsEachComputeOnce)
+{
+    serve::Engine engine;
+    constexpr int kDistinct = 3;
+    constexpr int kRepeats = 4;
+    std::vector<std::string> bodies;
+    for (int d = 0; d < kDistinct; ++d) {
+        std::string qasm = kQasm;
+        // Vary the circuit by appending d extra H gates on q[0].
+        for (int i = 0; i < d; ++i)
+            qasm += "h q[0];\n";
+        bodies.push_back(qasm);
+    }
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    for (int r = 0; r < kRepeats; ++r)
+        for (int d = 0; d < kDistinct; ++d)
+            clients.emplace_back([&engine, &bodies, &failures, r, d] {
+                json::Value resp = json::parse(engine.handle(
+                    requestLine(r * kDistinct + d, bodies[d])));
+                if (!resp["ok"].asBool())
+                    ++failures;
+            });
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    serve::EngineCounters c = engine.counters();
+    EXPECT_EQ(c.cacheMisses, uint64_t(kDistinct));
+    EXPECT_EQ(c.transpiles, uint64_t(kDistinct));
+    EXPECT_EQ(c.cacheHits + c.coalesced,
+              uint64_t(kDistinct * (kRepeats - 1)));
+}
+
+// --- socket transport -------------------------------------------------------
+
+TEST(ServeSocket, EightConcurrentClientsOverTheSocket)
+{
+    const std::string path = testing::TempDir() + "mirage_serve_test.sock";
+    std::filesystem::remove(path);
+
+    serve::Engine engine;
+    serve::SocketServer server(engine, path);
+    server.start();
+    std::thread serverThread([&server] { server.run(); });
+
+    constexpr int kClients = 8;
+    std::vector<std::string> responses(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&path, &responses, i] {
+            serve::SocketClient client(path);
+            responses[i] = client.roundTrip(requestLine(i));
+        });
+    for (auto &t : clients)
+        t.join();
+
+    std::string firstReport;
+    for (int i = 0; i < kClients; ++i) {
+        json::Value resp = json::parse(responses[i]);
+        ASSERT_TRUE(resp["ok"].asBool()) << responses[i];
+        EXPECT_EQ(resp["id"].asInt(), i);
+        const std::string report = resp["report"].dump(0);
+        if (firstReport.empty())
+            firstReport = report;
+        else
+            EXPECT_EQ(report, firstReport) << "client " << i;
+    }
+
+    // A shutdown request drains the server; run() returns and the
+    // socket file is gone.
+    serve::SocketClient closer(path);
+    json::Value bye =
+        json::parse(closer.roundTrip("{\"op\":\"shutdown\"}"));
+    EXPECT_TRUE(bye["ok"].asBool());
+    serverThread.join();
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ServeSocket, SecondServerRefusesALivePath)
+{
+    const std::string path =
+        testing::TempDir() + "mirage_serve_live.sock";
+    std::filesystem::remove(path);
+
+    serve::Engine engine;
+    serve::SocketServer server(engine, path);
+    server.start();
+    std::thread serverThread([&server] { server.run(); });
+
+    serve::Engine other;
+    serve::SocketServer dup(other, path);
+    EXPECT_THROW(dup.start(), serve::ServeError);
+
+    server.stop();
+    serverThread.join();
+}
+
+// --- library persistence ----------------------------------------------------
+
+TEST(ServeEngine, EquivalenceLibraryPersistsAcrossEngines)
+{
+    const std::string dir = tempDir("serve_eqlib_cache/");
+    const std::string line = requestLine(
+        1, kQasm, "{\"trials\":1,\"swapTrials\":1,\"lower\":true}");
+    {
+        serve::EngineOptions opts;
+        opts.cacheDir = dir;
+        serve::Engine engine(opts);
+        json::Value resp = handleParsed(engine, line);
+        ASSERT_TRUE(resp["ok"].asBool()) << engine.handle(line);
+        EXPECT_TRUE(resp["report"].contains("lowered"));
+    } // destructor saves the library
+    EXPECT_TRUE(
+        std::filesystem::exists(dir + "/eqlib-root2.cache"));
+
+    serve::EngineOptions opts;
+    opts.cacheDir = dir;
+    serve::Engine warm(opts);
+    json::Value resp = handleParsed(warm, line);
+    ASSERT_TRUE(resp["ok"].asBool());
+    // A warm library serves every block from its decomposition cache.
+    EXPECT_EQ(resp["report"]["lowered"]["newFits"].asInt(), 0);
+}
+
+// --- serve-bench ------------------------------------------------------------
+
+TEST(ServeBench, ArtifactCountersAreExactAndCheckGates)
+{
+    serve::TrafficOptions opts;
+    opts.clients = 4;
+    opts.requestsPerClient = 3;
+    opts.distinct = 2;
+    opts.width = 4;
+    opts.twoQubitGates = 6;
+    opts.topology = "grid2x2";
+    opts.trials = 2;
+    opts.swapTrials = 1;
+
+    std::ostringstream log;
+    json::Value first = serve::runTraffic(opts, log);
+    EXPECT_EQ(first["kind"].asString(), serve::kServeBenchKind);
+    const json::Value &counters = first["counters"];
+    EXPECT_EQ(counters["requests"].asInt(), 2 + 4 * 3);
+    EXPECT_EQ(counters["warmupMisses"].asInt(), 2);
+    EXPECT_EQ(counters["driveHits"].asInt(), 4 * 3);
+    EXPECT_EQ(counters["errors"].asInt(), 0);
+    EXPECT_TRUE(counters["bitIdentical"].asBool());
+
+    // A second run reproduces the deterministic sections exactly.
+    json::Value second = serve::runTraffic(opts, log);
+    std::string report;
+    EXPECT_TRUE(serve::checkServeArtifact(second, first, &report))
+        << report;
+
+    // Any counter drift fails the gate and is named in the report.
+    json::Value doctored = first;
+    json::Value badCounters = doctored["counters"];
+    badCounters.set("heuristicEvals",
+                    badCounters["heuristicEvals"].asInt() + 1);
+    doctored.set("counters", std::move(badCounters));
+    report.clear();
+    EXPECT_FALSE(serve::checkServeArtifact(second, doctored, &report));
+    EXPECT_NE(report.find("heuristicEvals"), std::string::npos);
+
+    // Parameter drift (a different workload) also fails.
+    json::Value otherParams = first;
+    json::Value p = otherParams["parameters"];
+    p.set("clients", 99);
+    otherParams.set("parameters", std::move(p));
+    EXPECT_FALSE(serve::checkServeArtifact(second, otherParams, &report));
+}
+
+TEST(ServeBench, SyntheticQasmIsDeterministicAndDistinctPerIndex)
+{
+    const std::string a = serve::syntheticQasm(0, 4, 6, 1);
+    EXPECT_EQ(a, serve::syntheticQasm(0, 4, 6, 1));
+    EXPECT_NE(a, serve::syntheticQasm(1, 4, 6, 1));
+    EXPECT_NE(a, serve::syntheticQasm(0, 4, 6, 2));
+    circuit::Circuit c = circuit::fromQasm(a);
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.twoQubitGateCount(), 6);
+}
