@@ -25,6 +25,7 @@
 #include "circuit/qasm.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "decomp/catalog.hh"
 #include "decomp/equivalence.hh"
 #include "mirage/pipeline.hh"
 #include "serve/protocol.hh"
@@ -154,6 +155,10 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
     parser.addOption("--cache", "DIR", "",
                      "equivalence-library cache directory (load before, "
                      "save after; implies faster --lower reruns)");
+    parser.addOption("--catalog", "FILE", "",
+                     "fit catalog warm-starting --lower ('none' "
+                     "disables; default: $MIRAGE_FIT_CATALOG, then "
+                     "./FIT_CATALOG.bin when present)");
     parser.addOption("--format", "FMT", "json",
                      "output format: json (report) or qasm (circuit)");
     parser.addOption("--output", "FILE", "",
@@ -223,7 +228,27 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
     const std::string cacheDir = validateCacheDir(parser.option("--cache"));
     std::string cacheFile;
     if (opts.lowerToBasis) {
-        library.emplace(opts.rootDegree);
+        const std::string catalogPath =
+            decomp::resolveCatalogPath(parser.option("--catalog"));
+        if (!catalogPath.empty()) {
+            // The catalog includes the preseed gates, so a successful
+            // load replaces preseeding entirely (zero cold fits).
+            library.emplace(opts.rootDegree, /*preseed=*/false);
+            const auto loaded =
+                library->loadCacheFileDetailed(catalogPath);
+            if (loaded.status !=
+                decomp::EquivalenceLibrary::CacheLoadStatus::Ok) {
+                err << "mirage: warning: fit catalog "
+                    << (loaded.status == decomp::EquivalenceLibrary::
+                                             CacheLoadStatus::Unreadable
+                            ? "unreadable"
+                            : "malformed")
+                    << ": " << loaded.message << "; fitting cold\n";
+                library.emplace(opts.rootDegree);
+            }
+        } else {
+            library.emplace(opts.rootDegree);
+        }
         if (!cacheDir.empty()) {
             cacheFile = cacheDir + "/eqlib-root" +
                         std::to_string(opts.rootDegree) + ".cache";
@@ -289,6 +314,10 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
     parser.addOption("--cache", "DIR", "",
                      "equivalence-library cache directory shared across "
                      "runs (table3/fig13)");
+    parser.addOption("--catalog", "FILE", "",
+                     "fit catalog warm-starting lowering experiments "
+                     "('none' disables; default: $MIRAGE_FIT_CATALOG, "
+                     "then ./FIT_CATALOG.bin when present)");
     parser.addFlag("--csv", "also write <name>.csv next to the JSON");
     parser.addFlag("--stdout",
                    "print the artifact JSON to stdout instead of "
@@ -342,6 +371,7 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out,
     if (knobs.threads < 0)
         throw UsageError("--threads must be >= 0 (0 = all cores)");
     knobs.cacheDir = validateCacheDir(parser.option("--cache"));
+    knobs.catalogPath = parser.option("--catalog");
 
     err << "mirage: running experiment '" << name << "' ("
         << experiment->artifact << ")...\n";
@@ -391,14 +421,21 @@ cmdBench(const std::vector<std::string> &args, std::ostream &out,
     ArgumentParser parser("bench", "[--check <baseline.json>]");
     parser.addOption("--experiment", "NAME", "bench",
                      "counter-gated experiment: bench (Table III routing, "
-                     "BENCH_fig13.json) or fig12-large (1000+ qubit sparse "
-                     "topologies, BENCH_large_topo.json)");
+                     "BENCH_fig13.json), fig12-large (1000+ qubit sparse "
+                     "topologies, BENCH_large_topo.json), or "
+                     "bench-lowering (fit pipeline cold vs catalog, "
+                     "BENCH_lowering.json)");
     parser.addOption("--out", "FILE", "",
                      "artifact path ('-' for stdout; default: the "
                      "experiment's committed baseline name)");
     parser.addOption("--check", "FILE", "",
                      "baseline artifact; exit 1 if a deterministic "
-                     "counter (heuristicEvals, extSetBuilds) regressed");
+                     "counter (heuristicEvals/extSetBuilds, or the fit "
+                     "counters for bench-lowering) regressed");
+    parser.addOption("--catalog", "FILE", "",
+                     "fit catalog for bench-lowering's warm half ('none' "
+                     "disables; default: $MIRAGE_FIT_CATALOG, then "
+                     "./FIT_CATALOG.bin when present)");
     parser.addOption("--trials", "N", "", "layout trials (default: 8)");
     parser.addOption("--swap-trials", "N", "",
                      "routing repeats per layout (default: 2)");
@@ -430,10 +467,13 @@ cmdBench(const std::vector<std::string> &args, std::ostream &out,
     knob("--limit", &knobs.suiteLimit, 1);
 
     const std::string experimentName = parser.option("--experiment");
-    if (experimentName != "bench" && experimentName != "fig12-large")
-        throw UsageError("--experiment must be 'bench' or 'fig12-large' "
-                         "(counter-gated experiments), got '" +
+    if (experimentName != "bench" && experimentName != "fig12-large" &&
+        experimentName != "bench-lowering")
+        throw UsageError("--experiment must be 'bench', 'fig12-large', "
+                         "or 'bench-lowering' (counter-gated "
+                         "experiments), got '" +
                          experimentName + "'");
+    knobs.catalogPath = parser.option("--catalog");
 
     // Read the baseline BEFORE writing the fresh artifact: with the
     // default --out the two paths coincide (the committed repo-root
@@ -461,8 +501,9 @@ cmdBench(const std::vector<std::string> &args, std::ostream &out,
 
     std::string path = parser.option("--out");
     if (path.empty())
-        path = experimentName == "bench" ? "BENCH_fig13.json"
-                                         : "BENCH_large_topo.json";
+        path = experimentName == "bench"        ? "BENCH_fig13.json"
+               : experimentName == "fig12-large" ? "BENCH_large_topo.json"
+                                                 : "BENCH_lowering.json";
     writeOutput(path, artifact.dump(2), out);
     if (path != "-" && !path.empty())
         out << "wrote " << path << " (" << artifact["rows"].size()
@@ -562,6 +603,11 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out,
     parser.addOption("--cache", "DIR", "",
                      "equivalence-library persistence directory "
                      "(loaded on first use, saved on shutdown)");
+    parser.addOption("--catalog", "FILE", "",
+                     "fit catalog warm-starting the root-2 library at "
+                     "startup ('none' disables; default: "
+                     "$MIRAGE_FIT_CATALOG, then ./FIT_CATALOG.bin "
+                     "when present)");
     parser.parse(args);
     if (parser.helpRequested()) {
         out << parser.helpText();
@@ -588,9 +634,25 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out,
     if (eopts.maxBatch < 1)
         throw UsageError("--max-batch must be >= 1");
     eopts.cacheDir = validateCacheDir(parser.option("--cache"));
+    eopts.catalogPath = parser.option("--catalog");
 
     try {
         serve::Engine engine(eopts);
+        if (!engine.catalogPath().empty()) {
+            const auto &load = engine.catalogLoad();
+            using Status =
+                decomp::EquivalenceLibrary::CacheLoadStatus;
+            if (load.status == Status::Ok)
+                err << "mirage: serve: fit catalog '"
+                    << engine.catalogPath() << "' loaded ("
+                    << load.entriesLoaded << " entries)\n";
+            else
+                err << "mirage: serve: warning: fit catalog "
+                    << (load.status == Status::Unreadable
+                            ? "unreadable"
+                            : "malformed")
+                    << ": " << load.message << "; lowering cold\n";
+        }
         if (stdio) {
             const uint64_t n = serve::serveStdio(engine, std::cin, out);
             err << "mirage: serve: handled " << n << " request(s)\n";
@@ -751,6 +813,111 @@ cmdServeBench(const std::vector<std::string> &args, std::ostream &out,
     return kExitSuccess;
 }
 
+// --- catalog ----------------------------------------------------------------
+
+/**
+ * `mirage catalog`: maintain the committed FIT_CATALOG.bin. `build`
+ * fits the full target set cold and writes the catalog; `check`
+ * refits and byte-compares against the committed file (the CI gate:
+ * any drift -- unreadable, malformed, or changed bytes -- fails and
+ * leaves the fresh bytes next to the stale file); `stats` inspects a
+ * catalog without fitting anything.
+ */
+int
+cmdCatalog(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err)
+{
+    ArgumentParser parser("catalog", "<build | check | stats>");
+    parser.addOption("--path", "FILE", decomp::kCatalogFileName,
+                     "catalog file to write (build), compare against "
+                     "(check), or inspect (stats)");
+    parser.addOption("--threads", "N", "1",
+                     "routing worker threads while collecting the "
+                     "target set (0 = all cores; the catalog bytes do "
+                     "not depend on this)");
+    parser.parse(args);
+    if (parser.helpRequested()) {
+        out << parser.helpText();
+        return kExitSuccess;
+    }
+    if (parser.positionals().size() != 1)
+        throw UsageError("catalog expects exactly one action: build, "
+                         "check, or stats; see 'mirage catalog --help'");
+    const std::string action = parser.positionals()[0];
+    const std::string path = parser.option("--path");
+    const int threads = parser.intOption("--threads");
+    if (threads < 0)
+        throw UsageError("--threads must be >= 0 (0 = all cores)");
+
+    using Status = decomp::EquivalenceLibrary::CacheLoadStatus;
+
+    if (action == "stats") {
+        decomp::EquivalenceLibrary lib(2, /*preseed=*/false);
+        const auto load = lib.loadCacheFileDetailed(path);
+        if (load.status != Status::Ok) {
+            err << "mirage: catalog stats: "
+                << (load.status == Status::Unreadable ? "unreadable"
+                                                      : "malformed")
+                << ": " << load.message << "\n";
+            return kExitFailure;
+        }
+        out << "catalog: " << path << "\n"
+            << "entries: " << lib.cacheSize() << "\n"
+            << "k histogram:\n";
+        for (const auto &[k, count] : lib.kHistogram())
+            out << "  k=" << k << ": " << count << "\n";
+        return kExitSuccess;
+    }
+    if (action != "build" && action != "check")
+        throw UsageError("unknown catalog action '" + action +
+                         "' (expected build, check, or stats)");
+
+    err << "mirage: fitting the catalog target set cold (Table III + "
+           "mirror workloads; several minutes)...\n";
+    auto lib = buildCatalogLibrary(threads);
+    std::ostringstream fresh;
+    lib->saveCache(fresh);
+
+    if (action == "build") {
+        std::ofstream f(path);
+        if (!f)
+            throw CliError("cannot write '" + path + "'");
+        f << fresh.str();
+        out << "wrote " << path << " (" << lib->cacheSize()
+            << " entries, " << lib->fitCount() << " fits)\n";
+        return kExitSuccess;
+    }
+
+    // check: classify the committed file first so CI logs say WHICH
+    // way it is bad (missing/unreadable vs corrupt vs drifted bytes).
+    decomp::EquivalenceLibrary probe(2, /*preseed=*/false);
+    const auto load = probe.loadCacheFileDetailed(path);
+    std::string failure;
+    if (load.status == Status::Unreadable)
+        failure = "unreadable: " + load.message;
+    else if (load.status == Status::Malformed)
+        failure = "malformed: " + load.message;
+    else if (readInput(path) != fresh.str())
+        failure = "'" + path +
+                  "' drifted from the freshly fitted target set";
+    if (failure.empty()) {
+        out << "catalog check OK: " << path
+            << " matches the freshly fitted target set ("
+            << lib->cacheSize() << " entries)\n";
+        return kExitSuccess;
+    }
+    const std::string freshPath = path + ".fresh";
+    {
+        std::ofstream f(freshPath);
+        if (f)
+            f << fresh.str();
+    }
+    err << "mirage: catalog check: " << failure
+        << " (fresh bytes left at '" << freshPath
+        << "'; regenerate with 'mirage catalog build')\n";
+    return kExitFailure;
+}
+
 // --- dispatch ---------------------------------------------------------------
 
 const char *const kVersion = "0.1.0";
@@ -771,6 +938,8 @@ usage()
            "or stdio)\n"
            "  serve-bench serve throughput/latency (BENCH_serve.json); "
            "--check gates CI\n"
+           "  catalog     build/check/inspect the committed fit catalog "
+           "(FIT_CATALOG.bin)\n"
            "  report      render sweep artifacts as markdown tables\n"
            "  version     print the version\n"
            "  help        show this message\n"
@@ -811,6 +980,8 @@ run(const std::vector<std::string> &args, std::ostream &out,
             return cmdServe(rest, out, err);
         if (command == "serve-bench")
             return cmdServeBench(rest, out, err);
+        if (command == "catalog")
+            return cmdCatalog(rest, out, err);
         if (command == "report")
             return cmdReport(rest, out, err);
         err << "mirage: unknown command '" << command << "'\n\n"

@@ -17,10 +17,15 @@
 #define MIRAGE_CLI_EXPERIMENTS_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
+
+namespace mirage::decomp {
+class EquivalenceLibrary;
+}
 
 namespace mirage::cli {
 
@@ -44,6 +49,13 @@ struct SweepKnobs
     int mcIterations = -1;  ///< Monte-Carlo iterations (Table II)
     int suiteLimit = -1;    ///< first N Table III circuits (-1 = all)
     std::string cacheDir;   ///< equivalence-library cache dir ("" = off)
+    /**
+     * Committed fit catalog: "" auto-discovers ($MIRAGE_FIT_CATALOG,
+     * then ./FIT_CATALOG.bin), "none" disables, anything else is an
+     * explicit path. Lowering experiments (table3, mirror-*,
+     * bench-lowering) warm-start their equivalence library from it.
+     */
+    std::string catalogPath;
 };
 
 /**
@@ -70,6 +82,18 @@ struct Experiment
 
 /** All registered experiments, in paper order. */
 const std::vector<Experiment> &experimentRegistry();
+
+/**
+ * Fit the full catalog target set -- every decomposition the Table III
+ * sweep (exact table3/fig13 config) and the mirror-rb/mirror-qv
+ * families need, plus the standard preseed gates -- into one
+ * equivalence library, cold (no catalog/cache load). saveCache of the
+ * result IS the FIT_CATALOG.bin artifact; the build is deterministic,
+ * so `mirage catalog check` can compare bytes against the committed
+ * file.
+ */
+std::unique_ptr<decomp::EquivalenceLibrary>
+buildCatalogLibrary(int threads);
 
 /** Lookup by name; nullptr when unknown. */
 const Experiment *findExperiment(const std::string &name);

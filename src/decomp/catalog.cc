@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Catalog path resolution (see catalog.hh for the contract).
+ */
+
+#include "decomp/catalog.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace mirage::decomp {
+
+std::string
+resolveCatalogPath(const std::string &knob)
+{
+    if (knob == kCatalogDisabled)
+        return "";
+    if (!knob.empty())
+        return knob;
+    if (const char *env = std::getenv("MIRAGE_FIT_CATALOG")) {
+        if (std::string(env) == kCatalogDisabled)
+            return "";
+        if (env[0] != '\0')
+            return env;
+    }
+    std::error_code ec;
+    if (std::filesystem::exists(kCatalogFileName, ec))
+        return kCatalogFileName;
+    return "";
+}
+
+} // namespace mirage::decomp

@@ -140,15 +140,21 @@ EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm) const
     opts.adamIterations = 350;
     opts.targetInfidelity = 1e-11;
 
+    // `total` charges every round's evaluations to the returned fit,
+    // including discarded restarts: the counter measures work done.
     Decomposition best;
     best.fidelity = -1;
+    uint64_t total = 0;
     for (int round = 0; round < kMaxFitRounds; ++round) {
         Rng rng(deriveSeed(fit_seed, uint64_t(round)));
         Decomposition d = decomposeViaCanonical(u, basisMatrix_, k, rng, opts);
+        total += d.evaluations;
         if (d.fidelity > best.fidelity)
             best = d;
-        if (1.0 - best.fidelity < kAcceptInfidelity)
+        if (1.0 - best.fidelity < kAcceptInfidelity) {
+            best.evaluations = total;
             return best;
+        }
     }
     // Optimizer-miss guard: allow one extra pulse when the polytope
     // depth could not be reached numerically. Only hard blocks pay for
@@ -159,9 +165,11 @@ EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm) const
         Rng rng(deriveSeed(fit_seed, 0x100 + uint64_t(round)));
         Decomposition retry =
             decomposeViaCanonical(u, basisMatrix_, k + 1, rng, opts);
+        total += retry.evaluations;
         if (retry.fidelity > best.fidelity)
             best = retry;
     }
+    best.evaluations = total;
     return best;
 }
 
@@ -196,6 +204,7 @@ EquivalenceLibrary::lookupEntry(const Mat4 &u, bool *fitted)
     }
     ++fits_;
     ++entries_;
+    fitEvaluations_ += d.evaluations;
     *fitted = true;
     auto entry = std::make_unique<CacheEntry>();
     entry->qmat = qm;
@@ -226,10 +235,12 @@ EquivalenceLibrary::translate(const Circuit &input, TranslateStats *stats)
                       "translate requires <= 2Q gates (unroll first)");
         bool fitted = false;
         const Decomposition &d = lookupEntry(g.matrix4(), &fitted);
-        if (fitted)
+        if (fitted) {
             ++local.newFits;
-        else
+            local.fitEvaluations += d.evaluations;
+        } else {
             ++local.cacheHits;
+        }
         appendDecomposition(out, d, rootDegree_, g.qubits[0], g.qubits[1]);
         ++local.blocksTranslated;
         double infidelity = std::max(0.0, 1.0 - d.fidelity);
@@ -270,6 +281,24 @@ EquivalenceLibrary::collisionCount() const
     return collisions_;
 }
 
+uint64_t
+EquivalenceLibrary::fitEvaluations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fitEvaluations_;
+}
+
+std::map<int, size_t>
+EquivalenceLibrary::kHistogram() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<int, size_t> hist;
+    for (const auto &[key, chain] : cache_)
+        for (const auto &e : chain)
+            ++hist[e->decomp.k];
+    return hist;
+}
+
 void
 EquivalenceLibrary::saveCache(std::ostream &out) const
 {
@@ -304,19 +333,35 @@ EquivalenceLibrary::saveCache(std::ostream &out) const
 }
 
 bool
-EquivalenceLibrary::loadCache(std::istream &in)
+EquivalenceLibrary::loadCache(std::istream &in, std::string *error)
 {
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
     serial::TokenReader r(in);
     r.expect("mirage-eqlib");
-    if (r.i64() != kCacheFormatVersion)
-        return false;
+    if (!r.ok())
+        return fail("not a mirage-eqlib cache (bad magic)");
+    int64_t version = r.i64();
+    if (version != kCacheFormatVersion)
+        return fail("unsupported cache format version " +
+                    std::to_string(version) + " (expected " +
+                    std::to_string(kCacheFormatVersion) + ")");
     r.expect("root");
-    if (r.i64() != rootDegree_)
-        return false;
+    int64_t root = r.i64();
+    if (!r.ok())
+        return fail("malformed header (missing root degree)");
+    if (root != rootDegree_)
+        return fail("basis mismatch: cache is for root degree " +
+                    std::to_string(root) + ", library expects " +
+                    std::to_string(rootDegree_));
     r.expect("entries");
     int64_t count = r.i64();
     if (!r.ok() || count < 0)
-        return false;
+        return fail("malformed header (bad entry count)");
 
     // Parse everything before touching the cache so a malformed stream
     // leaves the library unchanged. The header count is untrusted:
@@ -335,7 +380,8 @@ EquivalenceLibrary::loadCache(std::istream &in)
         // overflow in ansatzParamCount.
         if (!r.ok() || k < 0 || k > kMaxCachedK ||
             nparams != ansatzParamCount(int(k)))
-            return false;
+            return fail("malformed entry " + std::to_string(i) +
+                        " (bad k or parameter count)");
         e->decomp.k = int(k);
         for (auto &q : e->qmat)
             q = r.i64();
@@ -343,12 +389,13 @@ EquivalenceLibrary::loadCache(std::istream &in)
         for (auto &p : e->decomp.params)
             p = r.f64();
         if (!r.ok())
-            return false;
+            return fail("truncated or corrupt entry " + std::to_string(i) +
+                        " of " + std::to_string(count));
         loaded.push_back(std::move(e));
     }
     r.expect("end");
     if (!r.ok())
-        return false;
+        return fail("missing end marker (truncated file)");
 
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto &e : loaded) {
@@ -374,10 +421,28 @@ EquivalenceLibrary::saveCacheFile(const std::string &path) const
 bool
 EquivalenceLibrary::loadCacheFile(const std::string &path)
 {
+    return loadCacheFileDetailed(path).status == CacheLoadStatus::Ok;
+}
+
+EquivalenceLibrary::CacheLoadResult
+EquivalenceLibrary::loadCacheFileDetailed(const std::string &path)
+{
+    CacheLoadResult result;
     std::ifstream in(path);
-    if (!in)
-        return false;
-    return loadCache(in);
+    if (!in) {
+        result.status = CacheLoadStatus::Unreadable;
+        result.message = "cannot open '" + path + "' for reading";
+        return result;
+    }
+    size_t before = cacheSize();
+    std::string error;
+    if (!loadCache(in, &error)) {
+        result.status = CacheLoadStatus::Malformed;
+        result.message = "'" + path + "': " + error;
+        return result;
+    }
+    result.entriesLoaded = cacheSize() - before;
+    return result;
 }
 
 } // namespace mirage::decomp

@@ -28,8 +28,10 @@
 
 #include <array>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +47,12 @@ struct TranslateStats
     int blocksTranslated = 0;
     int cacheHits = 0;
     int newFits = 0;            ///< blocks that required a numerical fit
+    /**
+     * Objective evaluations spent on the fits behind newFits. Exactly 0
+     * when every block was answered from a warm cache -- the number the
+     * cold-start regression test and bench-lowering gate pin.
+     */
+    uint64_t fitEvaluations = 0;
     double worstInfidelity = 0; ///< max 1 - fidelity over all blocks
     /**
      * Sum of sqrt(1 - fidelity) over all blocks: an upper bound (up to
@@ -101,13 +109,42 @@ class EquivalenceLibrary
     void saveCache(std::ostream &out) const;
     /**
      * Merge a saved cache into this library. Returns false (library
-     * unchanged) on version/basis mismatch or a malformed stream.
+     * unchanged) on version/basis mismatch or a malformed stream; when
+     * `error` is non-null it receives a one-line diagnostic saying what
+     * was wrong (bad magic, version/root mismatch, truncated entry...).
      */
-    bool loadCache(std::istream &in);
+    bool loadCache(std::istream &in, std::string *error = nullptr);
     /** saveCache to a file; returns false if the file cannot be written. */
     bool saveCacheFile(const std::string &path) const;
     /** loadCache from a file; returns false if unreadable or malformed. */
     bool loadCacheFile(const std::string &path);
+
+    /**
+     * Why a cache file failed to load. `Unreadable` (missing file,
+     * permissions) and `Malformed` (parse/version failure) are distinct
+     * outcomes: a deployment can ignore the former (cold start) but
+     * should surface the latter (a corrupt or stale artifact).
+     */
+    enum class CacheLoadStatus
+    {
+        Ok,
+        Unreadable,
+        Malformed,
+    };
+
+    /** Result of loadCacheFileDetailed. */
+    struct CacheLoadResult
+    {
+        CacheLoadStatus status = CacheLoadStatus::Ok;
+        std::string message;   ///< human-readable diagnostic when not Ok
+        size_t entriesLoaded = 0; ///< entries merged on success
+    };
+
+    /**
+     * loadCacheFile with the unreadable/malformed outcomes split and a
+     * diagnostic message. The bool overload keeps its old contract.
+     */
+    CacheLoadResult loadCacheFileDetailed(const std::string &path);
 
     // --- introspection -----------------------------------------------------
 
@@ -117,6 +154,14 @@ class EquivalenceLibrary
     uint64_t fitCount() const;
     /** Lookups answered from the cache. */
     uint64_t hitCount() const;
+    /**
+     * Total objective evaluations spent by fits since construction
+     * (includes preseed; excludes entries merged via loadCache, which
+     * cost no evaluations).
+     */
+    uint64_t fitEvaluations() const;
+    /** Cached-entry count per pulse count k (for `mirage catalog stats`). */
+    std::map<int, size_t> kHistogram() const;
     /**
      * Lookups whose 64-bit key matched an existing entry with a
      * DIFFERENT quantized matrix (a real key collision, resolved by
@@ -157,6 +202,7 @@ class EquivalenceLibrary
     uint64_t fits_ = 0;
     uint64_t hits_ = 0;
     uint64_t collisions_ = 0;
+    uint64_t fitEvaluations_ = 0;
 };
 
 } // namespace mirage::decomp

@@ -30,11 +30,13 @@ decomposeWithK(const Mat4 &target, const Mat4 &basis, int k, Rng &rng,
         AnsatzFit fit = fitAnsatz(target, basis, 0, rng, opts);
         d.fidelity = fit.fidelity;
         d.params = fit.params;
+        d.evaluations = uint64_t(fit.evaluations);
         return d;
     }
     AnsatzFit fit = fitAnsatz(target, basis, k, rng, opts);
     d.fidelity = fit.fidelity;
     d.params = fit.params;
+    d.evaluations = uint64_t(fit.evaluations);
     return d;
 }
 
@@ -114,6 +116,7 @@ fitCanonicalByContinuation(const weyl::Coord &c, const Mat4 &basis, int k,
         Mat4 target = weyl::canonicalGate(va + dir[0] * m, vb + dir[1] * m,
                                           vc + dir[2] * m);
         AnsatzFit fit = fitAnsatz(target, basis, k, rng, step_opts);
+        d.evaluations += uint64_t(fit.evaluations);
         step_opts.initialGuess = fit.params;
         step_opts.restarts = 1; // track the branch; warm start suffices
         if (j == kSteps) {
@@ -137,8 +140,12 @@ decomposeViaCanonical(const Mat4 &target, const Mat4 &basis, int k, Rng &rng,
     if (k >= 1 && 1.0 - d.fidelity > opts.targetInfidelity) {
         Decomposition cont =
             fitCanonicalByContinuation(kak.coords, basis, k, rng, opts);
+        // Evaluations measure work DONE, so the continuation's cost is
+        // charged whether or not its branch wins.
+        uint64_t total = d.evaluations + cont.evaluations;
         if (cont.fidelity > d.fidelity)
             d = cont;
+        d.evaluations = total;
     }
 
     // target = e^{i phase} (l1 x l2) CAN (r1 x r2): fold the exact local
@@ -155,6 +162,7 @@ decomposeViaCanonical(const Mat4 &target, const Mat4 &basis, int k, Rng &rng,
         setU3Params(d.params, last + 3, kak.l2 * u3Of(d.params, last + 3));
     }
     d.fidelity = ansatzFidelity(target, basis, k, d.params, nullptr);
+    d.evaluations += 1; // the re-evaluation above
     return d;
 }
 
@@ -164,13 +172,18 @@ decomposeMinimal(const Mat4 &target, const Mat4 &basis, int max_k,
 {
     Decomposition best;
     best.fidelity = -1;
+    uint64_t total = 0;
     for (int k = 0; k <= max_k; ++k) {
         Decomposition d = decomposeWithK(target, basis, k, rng, opts);
+        total += d.evaluations;
         if (d.fidelity > best.fidelity)
             best = d;
-        if (d.fidelity >= min_fidelity)
+        if (d.fidelity >= min_fidelity) {
+            d.evaluations = total;
             return d;
+        }
     }
+    best.evaluations = total;
     return best;
 }
 

@@ -20,6 +20,14 @@ struct Decomposition
     int k = 0;                  ///< basis applications used
     double fidelity = 0;        ///< achieved process fidelity
     std::vector<double> params; ///< 6(k+1) U3 angles
+    /**
+     * Objective evaluations spent producing this fit, including
+     * discarded restarts/continuation branches. Zero for entries
+     * restored from a saved cache (warm starts cost nothing) -- the
+     * counter behind the bench-lowering `fitEvaluations` gate, and NOT
+     * part of the persisted cache format.
+     */
+    uint64_t evaluations = 0;
 };
 
 /** Best fit with exactly k basis applications. */

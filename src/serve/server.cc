@@ -22,6 +22,7 @@
 #include <ostream>
 
 #include "circuit/qasm.hh"
+#include "decomp/catalog.hh"
 
 namespace mirage::serve {
 
@@ -33,6 +34,25 @@ Engine::Engine(EngineOptions opts)
 {
     if (opts_.maxBatch < 1)
         opts_.maxBatch = 1;
+
+    // Warm the root-2 library from the committed fit catalog before
+    // serving: the catalog includes the preseed gates, so a successful
+    // load means the first --lower request fits nothing. A failed load
+    // is recorded (unreadable vs malformed) and libraryFor() falls back
+    // to its normal preseeded path for that root.
+    catalogPath_ = decomp::resolveCatalogPath(opts_.catalogPath);
+    if (!catalogPath_.empty()) {
+        auto lib = std::make_unique<decomp::EquivalenceLibrary>(
+            2, /*preseed=*/false);
+        catalogLoad_ = lib->loadCacheFileDetailed(catalogPath_);
+        if (catalogLoad_.status ==
+            decomp::EquivalenceLibrary::CacheLoadStatus::Ok) {
+            if (!opts_.cacheDir.empty())
+                lib->loadCacheFile(opts_.cacheDir + "/eqlib-root2.cache");
+            libraries_.emplace(2, std::move(lib));
+        }
+    }
+
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
 }
 

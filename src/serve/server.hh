@@ -66,6 +66,15 @@ struct EngineOptions
      * server lowers warm. Empty = in-memory only.
      */
     std::string cacheDir;
+    /**
+     * Committed fit catalog warm-starting the root-2 library at
+     * construction: "" auto-discovers ($MIRAGE_FIT_CATALOG, then
+     * ./FIT_CATALOG.bin), "none" disables, else an explicit path.
+     * The load outcome (including the unreadable-vs-malformed split)
+     * is reported via Engine::catalogLoad() so the transport can log
+     * which failure happened at startup.
+     */
+    std::string catalogPath;
 };
 
 /**
@@ -122,6 +131,15 @@ class Engine
 
     int poolThreads() const { return pool_.numThreads(); }
 
+    /** Resolved catalog path ("" when disabled or not found). */
+    const std::string &catalogPath() const { return catalogPath_; }
+    /** Outcome of the startup catalog load (Ok when no catalog). */
+    const decomp::EquivalenceLibrary::CacheLoadResult &
+    catalogLoad() const
+    {
+        return catalogLoad_;
+    }
+
   private:
     /** One memoized result: the report (json) or circuit (qasm). */
     struct CachedEntry
@@ -173,6 +191,8 @@ class Engine
 
     mutable std::mutex libMutex_;
     std::map<int, std::unique_ptr<decomp::EquivalenceLibrary>> libraries_;
+    std::string catalogPath_; ///< resolved at construction
+    decomp::EquivalenceLibrary::CacheLoadResult catalogLoad_;
 
     mutable std::mutex topoMutex_;
     std::unordered_map<std::string,

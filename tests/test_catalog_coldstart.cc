@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cold-start regression gate: the committed FIT_CATALOG.bin must make
+ * a fresh clone lower warm.
+ *
+ * Loads the repository-root catalog into a bare (non-preseeded)
+ * equivalence library and runs one Table III circuit through the full
+ * pipeline with the exact table3 sweep configuration (grid 8x8,
+ * MirageDepth, trials 8/2/2, seed 0xB3). Every translated block must
+ * be answered from the catalog: newFits == 0, fitEvaluations == 0,
+ * and the library performs zero fits overall. If a pipeline change
+ * shifts routed blocks out of the catalog's target set, this test
+ * fails first -- the fix is `mirage catalog build` plus committing the
+ * regenerated file (CI's catalog-check job enforces the same).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_circuits/generators.hh"
+#include "decomp/equivalence.hh"
+#include "mirage/pipeline.hh"
+#include "topology/coupling.hh"
+
+using namespace mirage;
+using decomp::EquivalenceLibrary;
+using Status = EquivalenceLibrary::CacheLoadStatus;
+
+namespace {
+
+TEST(CatalogColdStart, CommittedCatalogLowersTableThreeFitFree)
+{
+    const std::string path =
+        std::string(MIRAGE_TEST_DATA_DIR) + "/../FIT_CATALOG.bin";
+
+    EquivalenceLibrary lib(2, /*preseed=*/false);
+    const auto load = lib.loadCacheFileDetailed(path);
+    ASSERT_EQ(load.status, Status::Ok) << load.message;
+    ASSERT_GT(load.entriesLoaded, 0u);
+
+    // The exact table3/bench-lowering configuration (see
+    // cli/experiments.cc): any drift here measures a different block
+    // set than the catalog was built for.
+    const auto &benchmark = bench::paperBenchmarks().front();
+    auto circ = benchmark.make();
+    mirage_pass::TranspileOptions opts;
+    opts.flow = mirage_pass::Flow::MirageDepth;
+    opts.layoutTrials = 8;
+    opts.swapTrials = 2;
+    opts.forwardBackwardPasses = 2;
+    opts.tryVf2 = false;
+    opts.seed = 0xB3;
+    opts.threads = 1;
+    opts.lowerToBasis = true;
+    opts.equivalenceLibrary = &lib;
+
+    auto res = mirage_pass::transpile(
+        circ, topology::CouplingMap::grid(8, 8), opts);
+
+    EXPECT_GT(res.translateStats.blocksTranslated, 0);
+    EXPECT_EQ(res.translateStats.newFits, 0)
+        << benchmark.name << " needed fits the committed catalog lacks; "
+        << "regenerate it with 'mirage catalog build'";
+    EXPECT_EQ(res.translateStats.fitEvaluations, 0u);
+    EXPECT_EQ(lib.fitCount(), 0u)
+        << "a warm library must perform zero numerical fits";
+}
+
+} // namespace
