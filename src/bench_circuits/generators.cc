@@ -8,6 +8,7 @@
 #include "bench_circuits/generators.hh"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -239,7 +240,9 @@ benchmarkByName(const std::string &name)
         if (b.name == name)
             return b;
     }
-    fatal("unknown benchmark '%s'", name.c_str());
+    // A typed error, not fatal(): the name can come from request or
+    // CLI data, and bad input must never take the process down.
+    throw std::invalid_argument("unknown benchmark '" + name + "'");
 }
 
 int

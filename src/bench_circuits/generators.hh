@@ -90,7 +90,8 @@ struct BenchmarkInfo
 /** The 15 circuits of Table III. */
 const std::vector<BenchmarkInfo> &paperBenchmarks();
 
-/** Look up a Table III entry by name (fatal on unknown name). */
+/** Look up a Table III entry by name; throws std::invalid_argument on
+ * an unknown name (benchmark names can arrive as request data). */
 const BenchmarkInfo &benchmarkByName(const std::string &name);
 
 /**

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cctype>
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,8 @@
 #include "cli/args.hh"
 #include "cli/experiments.hh"
 #include "circuit/qasm.hh"
+#include "common/atomic_file.hh"
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "decomp/catalog.hh"
@@ -159,6 +162,9 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
                      "fit catalog warm-starting --lower ('none' "
                      "disables; default: $MIRAGE_FIT_CATALOG, then "
                      "./FIT_CATALOG.bin when present)");
+    parser.addOption("--deadline-ms", "N", "0",
+                     "abort with exit 1 if the pipeline exceeds this "
+                     "compute budget (0 = none)");
     parser.addOption("--format", "FMT", "json",
                      "output format: json (report) or qasm (circuit)");
     parser.addOption("--output", "FILE", "",
@@ -213,6 +219,11 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
         throw UsageError("--root must be >= 2");
     if (opts.fixedAggression < -1 || opts.fixedAggression > 3)
         throw UsageError("--aggression must be in [-1, 3] (-1 = mixed)");
+    const int deadlineMs = parser.intOption("--deadline-ms");
+    if (deadlineMs < 0)
+        throw UsageError("--deadline-ms must be >= 0 (0 = none)");
+    if (deadlineMs > 0)
+        opts.deadline = Deadline::afterMs(deadlineMs);
 
     const topology::CouplingMap topo =
         parseTopology(parser.option("--topology"), input.numQubits());
@@ -257,7 +268,14 @@ cmdTranspile(const std::vector<std::string> &args, std::ostream &out,
         opts.equivalenceLibrary = &*library;
     }
 
-    auto res = mirage_pass::transpile(input, topo, opts);
+    mirage_pass::TranspileResult res;
+    try {
+        res = mirage_pass::transpile(input, topo, opts);
+    } catch (const DeadlineError &e) {
+        err << "mirage: deadline: " << e.what() << " (budget "
+            << deadlineMs << " ms)\n";
+        return kExitFailure;
+    }
 
     if (!cacheFile.empty()) {
         std::error_code ec;
@@ -608,6 +626,23 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out,
                      "startup ('none' disables; default: "
                      "$MIRAGE_FIT_CATALOG, then ./FIT_CATALOG.bin "
                      "when present)");
+    parser.addOption("--max-queue", "N", "256",
+                     "admission bound: shed requests with 'overloaded' "
+                     "+ retryAfterMs once this many are queued (0 = "
+                     "unbounded)");
+    parser.addOption("--deadline-ms", "N", "0",
+                     "server-wide per-request compute budget; caps any "
+                     "client deadlineMs (0 = none)");
+    parser.addOption("--max-qubits", "N", "0",
+                     "reject wider circuits with 'toolarge' (0 = no "
+                     "cap)");
+    parser.addOption("--max-gates", "N", "0",
+                     "reject longer circuits with 'toolarge' (0 = no "
+                     "cap)");
+    parser.addOption("--faults", "SPEC", "",
+                     "arm a deterministic fault schedule, e.g. "
+                     "'seed=7,serve.read=1/11,cache.save=1/1' "
+                     "(overrides $MIRAGE_FAULTS; chaos testing only)");
     parser.parse(args);
     if (parser.helpRequested()) {
         out << parser.helpText();
@@ -635,6 +670,34 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out,
         throw UsageError("--max-batch must be >= 1");
     eopts.cacheDir = validateCacheDir(parser.option("--cache"));
     eopts.catalogPath = parser.option("--catalog");
+    eopts.maxQueue = parser.intOption("--max-queue");
+    if (eopts.maxQueue < 0)
+        throw UsageError("--max-queue must be >= 0 (0 = unbounded)");
+    const int deadlineMs = parser.intOption("--deadline-ms");
+    if (deadlineMs < 0)
+        throw UsageError("--deadline-ms must be >= 0 (0 = none)");
+    eopts.deadlineMs = deadlineMs;
+    eopts.maxQubits = parser.intOption("--max-qubits");
+    eopts.maxGates = parser.intOption("--max-gates");
+    if (eopts.maxQubits < 0 || eopts.maxGates < 0)
+        throw UsageError("--max-qubits/--max-gates must be >= 0 "
+                         "(0 = no cap)");
+
+    const std::string faultSpec = parser.option("--faults");
+    if (!faultSpec.empty()) {
+        try {
+            fault::arm(faultSpec);
+        } catch (const std::invalid_argument &e) {
+            throw UsageError(std::string("--faults: ") + e.what());
+        }
+    }
+    if (fault::armed())
+        err << "mirage: serve: FAULT INJECTION armed: '" << fault::spec()
+            << "'\n";
+
+    // A client that hangs up mid-response must fail that one write
+    // (counted as a dropped response), not kill the server.
+    std::signal(SIGPIPE, SIG_IGN);
 
     try {
         serve::Engine engine(eopts);
@@ -722,10 +785,26 @@ cmdServeBench(const std::vector<std::string> &args, std::ostream &out,
                      "drive a live `mirage serve` at this socket "
                      "instead of an in-process engine");
     parser.addOption("--out", "FILE", "BENCH_serve.json",
-                     "artifact path ('-' for stdout)");
+                     "artifact path ('-' for stdout; --chaos defaults "
+                     "to stdout instead)");
     parser.addOption("--check", "FILE", "",
                      "baseline artifact; exit 1 if the deterministic "
                      "parameters or counters drifted");
+    parser.addFlag("--chaos",
+                   "robustness mode: drive a server through a seeded "
+                   "fault schedule; exit 1 unless it degrades cleanly "
+                   "(documented errors, bit-identical successes, no "
+                   "crash)");
+    parser.addOption("--chaos-requests", "N", "200",
+                     "requests driven through the chaos server");
+    parser.addOption("--faults", "SPEC", "",
+                     "chaos fault schedule (default: every injection "
+                     "point; ignored with --socket, where the server "
+                     "process owns its schedule)");
+    parser.addOption("--chaos-dir", "DIR", "",
+                     "chaos scratch directory for the in-process "
+                     "server's socket/catalog/cache (default: "
+                     "/tmp/mirage-chaos-<pid>)");
     parser.parse(args);
     if (parser.helpRequested()) {
         out << parser.helpText();
@@ -733,6 +812,50 @@ cmdServeBench(const std::vector<std::string> &args, std::ostream &out,
     }
     if (!parser.positionals().empty())
         throw UsageError("serve-bench takes no positional operands");
+
+    // --- chaos mode --------------------------------------------------------
+    if (parser.flag("--chaos")) {
+        if (!parser.option("--check").empty())
+            throw UsageError("--chaos and --check are mutually "
+                             "exclusive (chaos gates on its own pass "
+                             "flag)");
+        serve::ChaosOptions copts;
+        copts.requests = parser.intOption("--chaos-requests");
+        if (copts.requests < 1)
+            throw UsageError("--chaos-requests must be >= 1");
+        copts.seed = parser.u64Option("--seed");
+        copts.engineThreads = parser.intOption("--threads");
+        if (copts.engineThreads < 0)
+            throw UsageError("--threads must be >= 0 (0 = all cores)");
+        copts.faultSpec = parser.option("--faults");
+        copts.socketPath = parser.option("--socket");
+        copts.workDir = parser.option("--chaos-dir");
+        // Writes happen over SocketClient; a server killed mid-chaos
+        // must surface as a reconnect, not a fatal SIGPIPE.
+        std::signal(SIGPIPE, SIG_IGN);
+
+        json::Value artifact;
+        try {
+            artifact = serve::runChaos(copts, err);
+        } catch (const serve::ServeError &e) {
+            throw CliError(e.what());
+        }
+        // Never clobber the committed throughput baseline with a
+        // chaos artifact by default.
+        std::string path = parser.option("--out");
+        if (path == "BENCH_serve.json")
+            path = "-";
+        writeOutput(path, artifact.dump(2), out);
+        if (path != "-" && !path.empty())
+            out << "wrote " << path << "\n";
+        const json::Value *pass = artifact.find("pass");
+        if (!pass || !pass->asBool()) {
+            err << "mirage: serve-bench --chaos FAILED (see the "
+                   "artifact's results section)\n";
+            return kExitFailure;
+        }
+        return kExitSuccess;
+    }
 
     serve::TrafficOptions topts;
     auto positive = [&parser](const char *flag, int *slot) {
@@ -879,10 +1002,12 @@ cmdCatalog(const std::vector<std::string> &args, std::ostream &out,
     lib->saveCache(fresh);
 
     if (action == "build") {
-        std::ofstream f(path);
-        if (!f)
-            throw CliError("cannot write '" + path + "'");
-        f << fresh.str();
+        // Atomic replace: a crash (or SIGKILL) mid-build must leave
+        // either the old committed catalog or the new one, never a
+        // torn file that poisons every warm start.
+        std::string werr;
+        if (!writeFileAtomic(path, fresh.str(), &werr))
+            throw CliError("cannot write '" + path + "': " + werr);
         out << "wrote " << path << " (" << lib->cacheSize()
             << " entries, " << lib->fitCount() << " fits)\n";
         return kExitSuccess;
@@ -937,7 +1062,8 @@ usage()
            "  serve       persistent transpilation service (Unix socket "
            "or stdio)\n"
            "  serve-bench serve throughput/latency (BENCH_serve.json); "
-           "--check gates CI\n"
+           "--check gates CI,\n"
+           "              --chaos runs the fault-tolerance gate\n"
            "  catalog     build/check/inspect the committed fit catalog "
            "(FIT_CATALOG.bin)\n"
            "  report      render sweep artifacts as markdown tables\n"
@@ -960,6 +1086,21 @@ run(const std::vector<std::string> &args, std::ostream &out,
     }
     const std::string &command = args[0];
     const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+    // MIRAGE_FAULTS arms the deterministic fault schedule for any
+    // command (a --faults flag, where offered, re-arms over this).
+    if (const char *spec = std::getenv("MIRAGE_FAULTS");
+        spec && *spec && !fault::armed()) {
+        try {
+            fault::arm(spec);
+            err << "mirage: FAULT INJECTION armed from MIRAGE_FAULTS: '"
+                << spec << "'\n";
+        } catch (const std::invalid_argument &e) {
+            err << "mirage: bad MIRAGE_FAULTS spec: " << e.what()
+                << "\n";
+            return kExitUsage;
+        }
+    }
 
     try {
         if (command == "help" || command == "--help" || command == "-h") {

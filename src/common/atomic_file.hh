@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Crash-safe whole-file writes: temp file + fsync + atomic rename.
+ *
+ * A reader racing the writer -- or a SIGKILL landing mid-write -- sees
+ * either the complete old file or the complete new file, never a torn
+ * prefix. Used for every persisted cache (FIT_CATALOG.bin, the serve
+ * engine's equivalence caches) so `catalog build` and engine shutdown
+ * can be killed at any instant without poisoning the next start.
+ */
+
+#ifndef MIRAGE_COMMON_ATOMIC_FILE_HH
+#define MIRAGE_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace mirage {
+
+/**
+ * Replace `path` with `content` atomically (write to `path.tmp.<pid>`
+ * in the same directory, fsync, rename over the target, best-effort
+ * fsync of the directory). Returns false and fills `*error` (when
+ * non-null) on failure; the temp file is unlinked and the target is
+ * left untouched.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &content,
+                     std::string *error = nullptr);
+
+} // namespace mirage
+
+#endif // MIRAGE_COMMON_ATOMIC_FILE_HH

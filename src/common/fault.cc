@@ -1,0 +1,220 @@
+#include "common/fault.hh"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/rng.hh"
+
+namespace mirage {
+namespace fault {
+
+namespace {
+
+/** FNV-1a over the point name: the PRF stream id for its schedule. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+struct PointConfig
+{
+    // Rate form: inject iff PRF % den < num.
+    uint64_t num = 0;
+    uint64_t den = 1;
+    // One-shot form: inject exactly on call number `shot` (1-based).
+    uint64_t shot = 0;
+};
+
+struct Counts
+{
+    uint64_t calls = 0;
+    uint64_t injected = 0;
+};
+
+struct Schedule
+{
+    std::string spec;
+    uint64_t seed = 0;
+    std::map<std::string, PointConfig> points;
+    std::map<std::string, Counts> counts; // includes unscheduled points
+    uint64_t totalInjected = 0;
+};
+
+// armed_ is the fast-path gate; everything else sits behind the mutex.
+std::atomic<bool> armed_{false};
+std::mutex mutex_;
+Schedule schedule_;
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &why)
+{
+    throw std::invalid_argument("bad fault spec '" + spec + "': " + why);
+}
+
+/** Parse a non-negative integer; returns false on junk/overflow. */
+bool
+parseU64(const std::string &s, uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        if (v > (~uint64_t(0) - (c - '0')) / 10)
+            return false;
+        v = v * 10 + (c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+Schedule
+parseSpec(const std::string &spec)
+{
+    Schedule s;
+    s.spec = spec;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size())
+            badSpec(spec, "expected 'name=value' in '" + item + "'");
+        const std::string name = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (name == "seed") {
+            if (!parseU64(value, &s.seed))
+                badSpec(spec, "seed must be a non-negative integer");
+            continue;
+        }
+        PointConfig cfg;
+        if (value[0] == '#') {
+            if (!parseU64(value.substr(1), &cfg.shot) || cfg.shot == 0)
+                badSpec(spec, "'" + item +
+                                  "': one-shot form is point=#K with K >= 1");
+        } else {
+            const size_t slash = value.find('/');
+            if (slash == std::string::npos)
+                badSpec(spec, "'" + item +
+                                  "': rate form is point=N/D, one-shot "
+                                  "form is point=#K");
+            if (!parseU64(value.substr(0, slash), &cfg.num) ||
+                !parseU64(value.substr(slash + 1), &cfg.den) ||
+                cfg.den == 0)
+                badSpec(spec, "'" + item + "': rate must be N/D with D >= 1");
+            if (cfg.num > cfg.den)
+                badSpec(spec, "'" + item + "': rate N/D needs N <= D");
+        }
+        if (!s.points.emplace(name, cfg).second)
+            badSpec(spec, "point '" + name + "' listed twice");
+    }
+    if (s.points.empty())
+        badSpec(spec, "no injection points");
+    return s;
+}
+
+} // namespace
+
+void
+arm(const std::string &spec)
+{
+    Schedule parsed = parseSpec(spec); // throws before touching state
+    std::lock_guard<std::mutex> lock(mutex_);
+    schedule_ = std::move(parsed);
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(false, std::memory_order_release);
+    schedule_ = Schedule();
+}
+
+bool
+armed()
+{
+    return armed_.load(std::memory_order_relaxed);
+}
+
+std::string
+spec()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return schedule_.spec;
+}
+
+bool
+shouldFail(const char *point)
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Counts &c = schedule_.counts[point];
+    const uint64_t call = c.calls++; // 0-based index of THIS call
+    auto it = schedule_.points.find(point);
+    if (it == schedule_.points.end())
+        return false;
+    const PointConfig &cfg = it->second;
+    bool fire;
+    if (cfg.shot > 0) {
+        fire = (call + 1 == cfg.shot);
+    } else {
+        const uint64_t draw =
+            deriveSeed(schedule_.seed, fnv1a(point), call);
+        fire = (draw % cfg.den) < cfg.num;
+    }
+    if (fire) {
+        ++c.injected;
+        ++schedule_.totalInjected;
+    }
+    return fire;
+}
+
+void
+maybeThrow(const char *point)
+{
+    if (shouldFail(point))
+        throw Injected(point);
+}
+
+std::vector<PointStats>
+stats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PointStats> out;
+    out.reserve(schedule_.counts.size());
+    for (const auto &kv : schedule_.counts) {
+        PointStats p;
+        p.point = kv.first;
+        p.calls = kv.second.calls;
+        p.injected = kv.second.injected;
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+uint64_t
+injectedCount()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return schedule_.totalInjected;
+}
+
+} // namespace fault
+} // namespace mirage

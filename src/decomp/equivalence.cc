@@ -14,6 +14,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
 #include "decomp/ansatz.hh"
@@ -124,8 +126,13 @@ EquivalenceLibrary::findEntryLocked(uint64_t key, const QuantizedMat &qm) const
 }
 
 Decomposition
-EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm) const
+EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm,
+                           const Deadline &deadline) const
 {
+    // Chaos hook: a fit that "never converges" is modelled as a throw
+    // before any expensive work, so chaos runs exercise the error path
+    // without paying for real optimization.
+    fault::maybeThrow("fit.converge");
     // The cost model gives the exact pulse count; fit the ansatz at
     // that depth. All randomness is keyed by the quantized target, so
     // the result does not depend on which thread fits first or on any
@@ -146,6 +153,7 @@ EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm) const
     best.fidelity = -1;
     uint64_t total = 0;
     for (int round = 0; round < kMaxFitRounds; ++round) {
+        deadline.check("fit.round");
         Rng rng(deriveSeed(fit_seed, uint64_t(round)));
         Decomposition d = decomposeViaCanonical(u, basisMatrix_, k, rng, opts);
         total += d.evaluations;
@@ -162,6 +170,7 @@ EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm) const
     for (int round = 0; round < kMaxRetryRounds; ++round) {
         if (1.0 - best.fidelity <= kRetryInfidelity)
             break;
+        deadline.check("fit.retryRound");
         Rng rng(deriveSeed(fit_seed, 0x100 + uint64_t(round)));
         Decomposition retry =
             decomposeViaCanonical(u, basisMatrix_, k + 1, rng, opts);
@@ -174,7 +183,8 @@ EquivalenceLibrary::fitFor(const Mat4 &u, const QuantizedMat &qm) const
 }
 
 const Decomposition &
-EquivalenceLibrary::lookupEntry(const Mat4 &u, bool *fitted)
+EquivalenceLibrary::lookupEntry(const Mat4 &u, bool *fitted,
+                                const Deadline &deadline)
 {
     QuantizedMat qm = quantize(u);
     uint64_t key = keyOf(qm);
@@ -192,7 +202,7 @@ EquivalenceLibrary::lookupEntry(const Mat4 &u, bool *fitted)
     // Fit outside the lock, against the quantization-cell
     // representative -- deterministic per quantized target, so a
     // concurrent fit of the same unitary produces the same entry.
-    Decomposition d = fitFor(dequantize(qm), qm);
+    Decomposition d = fitFor(dequantize(qm), qm, deadline);
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (const CacheEntry *e = findEntryLocked(key, qm)) {
@@ -222,7 +232,8 @@ EquivalenceLibrary::lookup(const Mat4 &u)
 }
 
 Circuit
-EquivalenceLibrary::translate(const Circuit &input, TranslateStats *stats)
+EquivalenceLibrary::translate(const Circuit &input, TranslateStats *stats,
+                              const Deadline &deadline)
 {
     Circuit out(input.numQubits(), input.name() + "_basis");
     TranslateStats local;
@@ -233,8 +244,9 @@ EquivalenceLibrary::translate(const Circuit &input, TranslateStats *stats)
         }
         MIRAGE_ASSERT(g.isTwoQubit(),
                       "translate requires <= 2Q gates (unroll first)");
+        deadline.check("lower.block");
         bool fitted = false;
-        const Decomposition &d = lookupEntry(g.matrix4(), &fitted);
+        const Decomposition &d = lookupEntry(g.matrix4(), &fitted, deadline);
         if (fitted) {
             ++local.newFits;
             local.fitEvaluations += d.evaluations;
@@ -411,11 +423,16 @@ EquivalenceLibrary::loadCache(std::istream &in, std::string *error)
 bool
 EquivalenceLibrary::saveCacheFile(const std::string &path) const
 {
-    std::ofstream out(path);
+    if (fault::shouldFail("cache.save"))
+        return false;
+    // Serialize in memory, then publish with temp + fsync + rename: a
+    // kill at any instant leaves the old file or the new one, never a
+    // torn prefix (pinned by the chaos suite's kill-mid-save test).
+    std::ostringstream out;
+    saveCache(out);
     if (!out)
         return false;
-    saveCache(out);
-    return bool(out);
+    return writeFileAtomic(path, out.str());
 }
 
 bool
@@ -432,6 +449,13 @@ EquivalenceLibrary::loadCacheFileDetailed(const std::string &path)
     if (!in) {
         result.status = CacheLoadStatus::Unreadable;
         result.message = "cannot open '" + path + "' for reading";
+        return result;
+    }
+    // Chaos hook: a readable-but-corrupt cache, reported exactly like a
+    // real parse failure so callers exercise their degrade paths.
+    if (fault::shouldFail("catalog.load")) {
+        result.status = CacheLoadStatus::Malformed;
+        result.message = "'" + path + "': injected fault (catalog.load)";
         return result;
     }
     size_t before = cacheSize();

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "circuit/circuit.hh"
+#include "common/deadline.hh"
 #include "decomp/numerical.hh"
 #include "monodromy/cost_model.hh"
 
@@ -93,10 +94,14 @@ class EquivalenceLibrary
     /**
      * Lower every 2Q gate of a circuit into RootISWAP + Unitary1Q gates.
      * One-qubit gates pass through unchanged. Thread-safe; concurrent
-     * callers share the cache.
+     * callers share the cache. An active `deadline` is checked at every
+     * block boundary and between fit rounds (throws DeadlineError); an
+     * abandoned translation leaves the shared cache consistent -- any
+     * entries fitted before the cutoff stay valid.
      */
     circuit::Circuit translate(const circuit::Circuit &input,
-                               TranslateStats *stats = nullptr);
+                               TranslateStats *stats = nullptr,
+                               const Deadline &deadline = {});
 
     // --- cache persistence -------------------------------------------------
     // Fitting dominates translation cost, so fitted entries can be
@@ -186,9 +191,10 @@ class EquivalenceLibrary
     uint64_t keyOf(const QuantizedMat &qm) const;
     const CacheEntry *findEntryLocked(uint64_t key,
                                       const QuantizedMat &qm) const;
-    const Decomposition &lookupEntry(const linalg::Mat4 &u, bool *fitted);
-    Decomposition fitFor(const linalg::Mat4 &u,
-                         const QuantizedMat &qm) const;
+    const Decomposition &lookupEntry(const linalg::Mat4 &u, bool *fitted,
+                                     const Deadline &deadline = {});
+    Decomposition fitFor(const linalg::Mat4 &u, const QuantizedMat &qm,
+                         const Deadline &deadline) const;
 
     int rootDegree_;
     linalg::Mat4 basisMatrix_;

@@ -78,7 +78,8 @@ lowerResult(TranspileResult &result, const TranspileOptions &opts,
     MIRAGE_ASSERT(library->rootDegree() == opts.rootDegree,
                   "equivalence library basis does not match rootDegree");
     result.lowered = library->translate(result.routed,
-                                        &result.translateStats);
+                                        &result.translateStats,
+                                        opts.deadline);
     result.loweredMetrics =
         measuredPulseMetrics(result.lowered, cost_model.basisDuration());
     result.loweredToBasis = true;
@@ -94,6 +95,7 @@ transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
               decomp::EquivalenceLibrary *library)
 {
     MIRAGE_ASSERT(opts.rootDegree >= 1, "bad basis root degree");
+    opts.deadline.check("pipeline.start");
     const monodromy::CostModel cost_model =
         monodromy::makeRootIswapCostModel(opts.rootDegree);
 
@@ -135,6 +137,10 @@ transpileImpl(const Circuit &input, const topology::CouplingMap &coupling,
     topts.threads = opts.threads;
     topts.pool = pool;
     topts.pass.costModel = &cost_model;
+    // Every trial's pass copies opts.pass (passForTrial), so the token
+    // reaches the whole grid; parallelFor rethrows the first
+    // DeadlineError and skips unclaimed trials.
+    topts.pass.deadline = opts.deadline;
 
     switch (opts.flow) {
       case Flow::SabreBaseline:

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuit/circuit.hh"
+#include "common/deadline.hh"
 #include "common/exec.hh"
 #include "decomp/equivalence.hh"
 #include "mirage/depth_metric.hh"
@@ -76,6 +77,14 @@ struct TranspileOptions
      * never changes output, only throughput.
      */
     exec::ThreadPool *pool = nullptr;
+    /**
+     * Cooperative per-request deadline. Checked at stage boundaries, at
+     * every routing stall step, and at every lowering block/fit round;
+     * expiry aborts the pipeline with DeadlineError. Never changes the
+     * content of a completed result (it feeds no randomness), so serve
+     * excludes it from the result-cache key.
+     */
+    Deadline deadline;
 };
 
 /** Pipeline result. */

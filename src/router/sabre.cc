@@ -584,6 +584,10 @@ struct PassState
     void
     stallStep()
     {
+        // The stall step is the unit of routing progress: checking here
+        // bounds overshoot past an expired deadline to one swap
+        // decision, and no shared state is mid-mutation at this point.
+        opts->deadline.check("route.stall");
         buildBlockedFront();
         MIRAGE_ASSERT(!scratch->front2q.empty(),
                       "stall without blocked gates");

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "circuit/circuit.hh"
+#include "common/deadline.hh"
 #include "common/exec.hh"
 #include "layout/layout.hh"
 #include "monodromy/cost_model.hh"
@@ -76,6 +77,13 @@ struct PassOptions
     uint64_t seed = 1;
     /** Test hook: swap-candidate/mirror scoring implementation. */
     ScoreMode scoreMode = ScoreMode::Delta;
+    /**
+     * Cooperative cancellation: checked once per stall step (the unit
+     * of routing progress), so an expired request aborts the trial grid
+     * within one swap decision instead of wedging a worker. Inactive by
+     * default -- the check is a pointer test.
+     */
+    Deadline deadline;
     /**
      * Fill RouteResult::estDepth/estTotalCost when a cost model is set.
      * routeWithTrials turns this off for the layout-refinement passes,

@@ -197,6 +197,15 @@ parseTranspileRequest(const json::Value &doc)
             o.lowerToBasis = boolField(value, key);
         } else if (key == "vf2") {
             o.tryVf2 = boolField(value, key);
+        } else if (key == "deadlineMs") {
+            if (!value.isNumber())
+                throw RequestError("request",
+                                   "option 'deadlineMs' must be a number");
+            double v = value.asNumber();
+            if (v < 1)
+                throw RequestError("request",
+                                   "option 'deadlineMs' must be >= 1");
+            req.deadlineMs = v;
         } else {
             throw RequestError("request",
                                "unknown option '" + key + "'");
@@ -369,6 +378,20 @@ errorResponse(const json::Value &id, const std::string &code,
     json::Value e = json::Value::object();
     e.set("code", code);
     e.set("message", message);
+    v.set("error", std::move(e));
+    return v;
+}
+
+json::Value
+errorResponse(const json::Value &id, const std::string &code,
+              const std::string &message, double retry_after_ms)
+{
+    json::Value v = okEnvelope(id);
+    v.set("ok", false);
+    json::Value e = json::Value::object();
+    e.set("code", code);
+    e.set("message", message);
+    e.set("retryAfterMs", retry_after_ms);
     v.set("error", std::move(e));
     return v;
 }

@@ -55,6 +55,28 @@ class RequestError : public std::runtime_error
     std::string code_;
 };
 
+/**
+ * Load-shed rejection ("overloaded"): the admission queue is full. The
+ * response carries `retryAfterMs`, the engine's estimate of when the
+ * backlog will have drained, so well-behaved clients back off instead
+ * of hammering a saturated server.
+ */
+class OverloadedError : public RequestError
+{
+  public:
+    explicit OverloadedError(const std::string &message,
+                             double retry_after_ms)
+        : RequestError("overloaded", message),
+          retryAfterMs_(retry_after_ms)
+    {
+    }
+
+    double retryAfterMs() const { return retryAfterMs_; }
+
+  private:
+    double retryAfterMs_;
+};
+
 /** One parsed transpile request (transport- and cache-agnostic). */
 struct TranspileRequest
 {
@@ -74,6 +96,13 @@ struct TranspileRequest
      * knobs (flow, trials, seed, aggression, root, lower, vf2).
      */
     mirage_pass::TranspileOptions options;
+    /**
+     * Per-request compute budget in milliseconds (0 = none). The engine
+     * caps it at its own --deadline-ms when one is set. NOT part of the
+     * cache key: a deadline never changes a completed result, only
+     * whether one is produced.
+     */
+    double deadlineMs = 0;
 };
 
 /**
@@ -127,11 +156,20 @@ json::Value okEnvelope(const json::Value &id);
  * {"id": <id>, "ok": false, "error": {"code": ..., "message": ...}}.
  * `code` is one of: "parse" (malformed JSON), "request" (schema or
  * option-range violation), "qasm" (circuit text failed to parse),
- * "input" (circuit/topology mismatch), "shutdown" (server draining),
- * "internal" (unexpected exception).
+ * "input" (circuit/topology mismatch), "toolarge" (circuit exceeds the
+ * server's --max-qubits/--max-gates caps), "overloaded" (admission
+ * queue full; the error object carries `retryAfterMs`), "deadline"
+ * (request budget exhausted mid-pipeline), "fault" (an injected chaos
+ * fault fired), "shutdown" (server draining), "internal" (unexpected
+ * exception). docs/ARCHITECTURE.md "Failure model" is the normative
+ * list; tests/test_chaos.cc pins that no other code can escape.
  */
 json::Value errorResponse(const json::Value &id, const std::string &code,
                           const std::string &message);
+
+/** errorResponse plus an `error.retryAfterMs` hint (for "overloaded"). */
+json::Value errorResponse(const json::Value &id, const std::string &code,
+                          const std::string &message, double retry_after_ms);
 
 } // namespace mirage::serve
 

@@ -16,12 +16,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <istream>
 #include <ostream>
 
 #include "circuit/qasm.hh"
+#include "common/deadline.hh"
+#include "common/fault.hh"
 #include "decomp/catalog.hh"
 
 namespace mirage::serve {
@@ -92,6 +95,13 @@ Engine::counters() const
     return counters_;
 }
 
+void
+Engine::countDroppedResponse()
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    ++counters_.dropped;
+}
+
 decomp::EquivalenceLibrary *
 Engine::libraryFor(int root_degree)
 {
@@ -143,16 +153,80 @@ Engine::resolveTopology(const std::string &spec, int min_qubits)
     return built;
 }
 
-std::future<mirage_pass::TranspileResult>
+Engine::RelayedError
+Engine::RelayedError::capture()
+{
+    RelayedError r;
+    try {
+        throw;
+    } catch (const DeadlineError &e) {
+        r.kind = Kind::Deadline;
+        r.message = e.what();
+    } catch (const fault::Injected &e) {
+        r.kind = Kind::Fault;
+        r.code = e.point();
+        r.message = e.what();
+    } catch (const RequestError &e) {
+        r.kind = Kind::Request;
+        r.code = e.code();
+        r.message = e.what();
+    } catch (const std::exception &e) {
+        r.kind = Kind::Internal;
+        r.message = e.what();
+    } catch (...) {
+        r.kind = Kind::Internal;
+        r.message = "unknown error";
+    }
+    return r;
+}
+
+void
+Engine::RelayedError::raise() const
+{
+    switch (kind) {
+    case Kind::None:
+        return;
+    case Kind::Deadline:
+        throw DeadlineError(message);
+    case Kind::Fault:
+        throw fault::Injected(code);
+    case Kind::Request:
+        throw RequestError(code, message);
+    case Kind::Internal:
+        break;
+    }
+    throw std::runtime_error(message);
+}
+
+std::future<Engine::JobOutcome>
 Engine::enqueueJob(std::unique_ptr<Job> job)
 {
-    std::future<mirage_pass::TranspileResult> future =
-        job->promise.get_future();
+    std::future<JobOutcome> future = job->promise.get_future();
+    size_t backlog = 0;
+    bool shed = false;
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
         if (stopping_)
             throw RequestError("shutdown", "server is shutting down");
-        queue_.push_back(std::move(job));
+        backlog = queue_.size();
+        // Admission control: shed instead of queueing without bound. A
+        // chaos schedule can also force the shed path on a quiet queue.
+        shed = fault::shouldFail("queue.admit") ||
+               (opts_.maxQueue > 0 && backlog >= size_t(opts_.maxQueue));
+        if (!shed)
+            queue_.push_back(std::move(job));
+    }
+    if (shed) {
+        double retry_after_ms;
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.shed;
+            retry_after_ms = avgJobMs_ * double(backlog + 1);
+        }
+        throw OverloadedError("admission queue full (" +
+                                  std::to_string(backlog) +
+                                  " requests queued); retry later",
+                              retry_after_ms);
     }
     queueReady_.notify_one();
     return future;
@@ -194,6 +268,7 @@ Engine::dispatcherLoop()
 
         mirage_pass::TranspileOptions opts = group.front()->options;
         opts.pool = &pool_;
+        const auto batch_start = std::chrono::steady_clock::now();
         try {
             if (opts.lowerToBasis)
                 opts.equivalenceLibrary = libraryFor(opts.rootDegree);
@@ -203,6 +278,10 @@ Engine::dispatcherLoop()
                 circuits.push_back(job->circuit);
             auto results = mirage_pass::transpileMany(
                 circuits, *group.front()->topology, opts);
+            const double batch_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - batch_start)
+                    .count();
             // Count BEFORE fulfilling the promises: once a waiter's
             // response is visible, a stats snapshot must already
             // include its transpile (the bench gate relies on this).
@@ -213,12 +292,50 @@ Engine::dispatcherLoop()
                 counters_.batchedRequests += group.size();
                 counters_.maxBatchSize = std::max(counters_.maxBatchSize,
                                                   uint64_t(group.size()));
+                // Rough per-job cost estimate feeding retryAfterMs.
+                avgJobMs_ = 0.8 * avgJobMs_ +
+                            0.2 * (batch_ms / double(group.size()));
             }
-            for (size_t i = 0; i < group.size(); ++i)
-                group[i]->promise.set_value(std::move(results[i]));
+            for (size_t i = 0; i < group.size(); ++i) {
+                JobOutcome out;
+                out.result = std::move(results[i]);
+                group[i]->promise.set_value(std::move(out));
+            }
         } catch (...) {
-            for (auto &job : group)
-                job->promise.set_exception(std::current_exception());
+            if (group.size() == 1) {
+                JobOutcome out;
+                out.error = RelayedError::capture();
+                group.front()->promise.set_value(std::move(out));
+                continue;
+            }
+            // Fault isolation: a batch dies as a unit (transpileMany
+            // rethrows the first failure), but only one member may be
+            // poisoned -- an injected fit fault, say. Rerun each job
+            // solo so its batch mates still get their results.
+            for (auto &job : group) {
+                try {
+                    mirage_pass::TranspileOptions jopts = job->options;
+                    jopts.pool = &pool_;
+                    if (jopts.lowerToBasis)
+                        jopts.equivalenceLibrary =
+                            libraryFor(jopts.rootDegree);
+                    std::vector<circuit::Circuit> one;
+                    one.push_back(job->circuit);
+                    auto res = mirage_pass::transpileMany(
+                        one, *job->topology, jopts);
+                    {
+                        std::lock_guard<std::mutex> lock(countersMutex_);
+                        counters_.transpiles += 1;
+                    }
+                    JobOutcome out;
+                    out.result = std::move(res.front());
+                    job->promise.set_value(std::move(out));
+                } catch (...) {
+                    JobOutcome out;
+                    out.error = RelayedError::capture();
+                    job->promise.set_value(std::move(out));
+                }
+            }
         }
     }
 }
@@ -240,6 +357,37 @@ Engine::handleTranspile(const json::Value &doc, const json::Value &id)
     }
     if (input.numQubits() == 0)
         throw RequestError("input", "circuit declares no qubits");
+
+    // Per-request size caps: a single huge circuit must not be able to
+    // monopolize the worker pool of a shared server.
+    if ((opts_.maxQubits > 0 && input.numQubits() > opts_.maxQubits) ||
+        (opts_.maxGates > 0 && int(input.size()) > opts_.maxGates)) {
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.tooLarge;
+        }
+        throw RequestError(
+            "toolarge",
+            "circuit (" + std::to_string(input.numQubits()) + " qubits, " +
+                std::to_string(input.size()) + " gates) exceeds server caps" +
+                (opts_.maxQubits > 0
+                     ? " maxQubits=" + std::to_string(opts_.maxQubits)
+                     : "") +
+                (opts_.maxGates > 0
+                     ? " maxGates=" + std::to_string(opts_.maxGates)
+                     : ""));
+    }
+
+    // Effective deadline: the request's budget capped by the server's.
+    // The clock starts HERE, at admission, so time spent queued behind
+    // other work counts against the budget.
+    double deadline_ms = req.deadlineMs;
+    if (opts_.deadlineMs > 0 &&
+        (deadline_ms <= 0 || deadline_ms > opts_.deadlineMs))
+        deadline_ms = opts_.deadlineMs;
+    Deadline deadline;
+    if (deadline_ms > 0)
+        deadline = Deadline::afterMs(deadline_ms);
 
     auto topo = resolveTopology(req.topology, input.numQubits());
     if (topo->numQubits() < input.numQubits())
@@ -273,6 +421,14 @@ Engine::handleTranspile(const json::Value &doc, const json::Value &id)
         return v;
     };
 
+    // A deadlined miss computes SOLO: it neither registers in pending_
+    // (a coalesced waiter without a deadline must not inherit this
+    // request's "deadline" failure) nor joins a dispatcher batch (the
+    // batch runs under one options struct, and one expiring member must
+    // not abort its mates). Completed results still land in the memo --
+    // a deadline never changes result content, only whether there is
+    // one.
+    const bool solo = deadline.active();
     std::shared_ptr<Inflight> inflight;
     bool owner = false;
     EntryPtr hitEntry;
@@ -283,15 +439,17 @@ Engine::handleTranspile(const json::Value &doc, const json::Value &id)
             std::lock_guard<std::mutex> clock(countersMutex_);
             ++counters_.cacheHits;
         }
-        auto it = hitEntry ? pending_.end() : pending_.find(key);
+        auto it = (hitEntry || solo) ? pending_.end() : pending_.find(key);
         if (it != pending_.end()) {
             inflight = it->second;
             std::lock_guard<std::mutex> clock(countersMutex_);
             ++counters_.coalesced;
         } else if (!hitEntry) {
-            inflight = std::make_shared<Inflight>();
-            inflight->future = inflight->promise.get_future().share();
-            pending_[key] = inflight;
+            if (!solo) {
+                inflight = std::make_shared<Inflight>();
+                inflight->future = inflight->promise.get_future().share();
+                pending_[key] = inflight;
+            }
             owner = true;
             std::lock_guard<std::mutex> clock(countersMutex_);
             ++counters_.cacheMisses;
@@ -304,26 +462,38 @@ Engine::handleTranspile(const json::Value &doc, const json::Value &id)
         // Single-flight: an identical request is already computing;
         // wait for its entry (or its failure) instead of duplicating
         // the work.
-        EntryPtr entry = inflight->future.get();
-        return respond(entry, true, true);
+        const InflightOutcome &out = inflight->future.get();
+        out.error.raise();
+        return respond(out.entry, true, true);
     }
 
     auto job = std::make_unique<Job>();
     job->circuit = input;
     job->topology = topo;
     job->options = req.options;
+    job->options.deadline = deadline;
     job->groupKey = resultCacheKey(0, topo->name(), req.options, "");
+    if (solo)
+        job->groupKey +=
+            "|solo=" + std::to_string(soloSeq_.fetch_add(1));
 
     mirage_pass::TranspileResult result;
     try {
         auto future = enqueueJob(std::move(job));
-        result = future.get();
+        JobOutcome out = future.get();
+        out.error.raise(); // fresh exception on THIS thread
+        result = std::move(out.result);
     } catch (...) {
         // Unblock coalesced waiters with the same failure, then drop
-        // the rendezvous so a retry computes fresh.
-        inflight->promise.set_exception(std::current_exception());
-        std::lock_guard<std::mutex> lock(cacheMutex_);
-        pending_.erase(key);
+        // the rendezvous so a retry computes fresh. (Solo requests have
+        // no rendezvous and no waiters.)
+        if (inflight) {
+            InflightOutcome io;
+            io.error = RelayedError::capture();
+            inflight->promise.set_value(std::move(io));
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            pending_.erase(key);
+        }
         throw;
     }
 
@@ -341,9 +511,14 @@ Engine::handleTranspile(const json::Value &doc, const json::Value &id)
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         cache_.put(key, shared);
-        pending_.erase(key);
+        if (inflight)
+            pending_.erase(key);
     }
-    inflight->promise.set_value(shared);
+    if (inflight) {
+        InflightOutcome io;
+        io.entry = shared;
+        inflight->promise.set_value(std::move(io));
+    }
     return respond(shared, false, false);
 }
 
@@ -364,7 +539,30 @@ Engine::statsResponse(const json::Value &id) const
     cj.set("batchedRequests", c.batchedRequests);
     cj.set("maxBatchSize", c.maxBatchSize);
     cj.set("errors", c.errors);
+    cj.set("shed", c.shed);
+    cj.set("deadlines", c.deadlines);
+    cj.set("tooLarge", c.tooLarge);
+    cj.set("dropped", c.dropped);
     v.set("counters", std::move(cj));
+    {
+        json::Value limits = json::Value::object();
+        limits.set("maxQueue", opts_.maxQueue);
+        limits.set("deadlineMs", opts_.deadlineMs);
+        limits.set("maxQubits", opts_.maxQubits);
+        limits.set("maxGates", opts_.maxGates);
+        v.set("limits", std::move(limits));
+    }
+    if (fault::armed()) {
+        json::Value f = json::Value::object();
+        f.set("spec", fault::spec());
+        f.set("totalInjected", fault::injectedCount());
+        json::Value inj = json::Value::object();
+        for (const auto &p : fault::stats())
+            if (p.injected > 0)
+                inj.set(p.point, p.injected);
+        f.set("injected", std::move(inj));
+        v.set("faults", std::move(f));
+    }
     {
         json::Value cache = json::Value::object();
         {
@@ -373,6 +571,27 @@ Engine::statsResponse(const json::Value &id) const
         }
         cache.set("capacity", uint64_t(opts_.cacheEntries));
         v.set("cache", std::move(cache));
+    }
+    {
+        using Status = decomp::EquivalenceLibrary::CacheLoadStatus;
+        json::Value cat = json::Value::object();
+        cat.set("path", catalogPath_);
+        const char *status = "none";
+        if (!catalogPath_.empty()) {
+            switch (catalogLoad_.status) {
+            case Status::Ok:
+                status = "ok";
+                break;
+            case Status::Unreadable:
+                status = "unreadable";
+                break;
+            case Status::Malformed:
+                status = "malformed";
+                break;
+            }
+        }
+        cat.set("status", status);
+        v.set("catalog", std::move(cat));
     }
     v.set("poolThreads", pool_.numThreads());
     v.set("shuttingDown", shuttingDown_.load());
@@ -427,8 +646,22 @@ Engine::handleValue(const json::Value &request)
         throw RequestError("request", "unknown op '" + op +
                                           "' (expected transpile, stats, "
                                           "ping, or shutdown)");
+    } catch (const OverloadedError &e) {
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.errors;
+        }
+        return errorResponse(id, e.code(), e.what(), e.retryAfterMs());
     } catch (const RequestError &e) {
         return fail(e.code(), e.what());
+    } catch (const DeadlineError &e) {
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.deadlines;
+        }
+        return fail("deadline", e.what());
+    } catch (const fault::Injected &e) {
+        return fail("fault", e.what());
     } catch (const std::exception &e) {
         return fail("internal", e.what());
     }
@@ -461,6 +694,13 @@ serveStdio(Engine &engine, std::istream &in, std::ostream &out)
             continue;
         out << engine.handle(line) << "\n" << std::flush;
         ++handled;
+        if (!out) {
+            // Downstream pipe gone (SIGPIPE is ignored in cmdServe, so
+            // the write surfaces as a stream failure): count the lost
+            // response and stop instead of spinning on a dead stream.
+            engine.countDroppedResponse();
+            break;
+        }
         if (engine.shuttingDown())
             break;
     }
@@ -569,6 +809,11 @@ SocketServer::connectionLoop(Connection *conn)
             continue;
         if (n <= 0)
             break;
+        // Chaos hook: a read error is indistinguishable from the client
+        // hanging up mid-request -- drop the connection (and anything
+        // buffered) exactly as a real disconnect would.
+        if (fault::shouldFail("serve.read"))
+            break;
         buffer.append(chunk, size_t(n));
         size_t pos;
         while ((pos = buffer.find('\n')) != std::string::npos) {
@@ -578,7 +823,15 @@ SocketServer::connectionLoop(Connection *conn)
                 continue;
             std::string response = engine_.handle(line);
             response += '\n';
-            if (!sendAll(conn->fd, response)) {
+            // A failed send means the client vanished mid-response
+            // (EPIPE/ECONNRESET -- sendAll uses MSG_NOSIGNAL, and
+            // cmdServe ignores SIGPIPE, so the process survives). The
+            // chaos hook fakes the same outcome. Either way the lost
+            // response is counted and the work stays memoized for the
+            // client's retry.
+            if (fault::shouldFail("serve.write") ||
+                !sendAll(conn->fd, response)) {
+                engine_.countDroppedResponse();
                 open = false;
                 break;
             }
@@ -630,6 +883,12 @@ SocketServer::run()
                 errno == ECONNABORTED)
                 continue;
             break;
+        }
+        // Chaos hook: an accept that fails after the fact (client gave
+        // up, fd pressure) -- close and keep listening.
+        if (fault::shouldFail("serve.accept")) {
+            ::close(fd);
+            continue;
         }
         auto conn = std::make_unique<Connection>();
         conn->fd = fd;

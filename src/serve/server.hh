@@ -75,6 +75,23 @@ struct EngineOptions
      * which failure happened at startup.
      */
     std::string catalogPath;
+    /**
+     * Admission-control bound on the dispatcher queue (0 = unbounded).
+     * A request arriving with this many jobs already queued is shed
+     * with an "overloaded" error carrying a retryAfterMs estimate,
+     * instead of growing the backlog without bound.
+     */
+    int maxQueue = 256;
+    /**
+     * Server-wide compute budget per request in milliseconds (0 =
+     * none). A request's own deadlineMs is honored up to this cap; the
+     * clock starts at admission, so queue wait counts against it.
+     */
+    double deadlineMs = 0;
+    /** Reject circuits wider than this with "toolarge" (0 = no cap). */
+    int maxQubits = 0;
+    /** Reject circuits with more gates than this (0 = no cap). */
+    int maxGates = 0;
 };
 
 /**
@@ -94,6 +111,10 @@ struct EngineCounters
     uint64_t batchedRequests = 0; ///< total circuits across all groups
     uint64_t maxBatchSize = 0;    ///< largest group so far
     uint64_t errors = 0;          ///< error responses produced
+    uint64_t shed = 0;            ///< requests rejected "overloaded"
+    uint64_t deadlines = 0;       ///< requests that died of "deadline"
+    uint64_t tooLarge = 0;        ///< requests rejected by size caps
+    uint64_t dropped = 0;         ///< responses lost to dead clients
 };
 
 /** The transport-independent serving core (see file comment). */
@@ -129,6 +150,14 @@ class Engine
     /** Snapshot of the service counters. */
     EngineCounters counters() const;
 
+    /**
+     * Record a response that could not be delivered (client hung up
+     * mid-write, or an injected serve.write fault). Called by the
+     * transports; the work itself stays cached, so a reconnecting
+     * client's retry is a memo hit.
+     */
+    void countDroppedResponse();
+
     int poolThreads() const { return pool_.numThreads(); }
 
     /** Resolved catalog path ("" when disabled or not found). */
@@ -150,11 +179,47 @@ class Engine
     };
     using EntryPtr = std::shared_ptr<const CachedEntry>;
 
+    /**
+     * Value-typed failure relayed across threads. The promises below
+     * must NOT carry an exception_ptr: rethrowing shares one exception
+     * object (and its refcounted message buffer) between the
+     * fulfilling and the waiting thread, and the final release races
+     * the waiter's what() read as far as ThreadSanitizer can tell
+     * (libstdc++'s internal exception refcount is uninstrumented).
+     * Shipping deep-copied strings and throwing a FRESH exception on
+     * the waiting thread keeps every exception object thread-local.
+     */
+    struct RelayedError
+    {
+        enum class Kind { None, Request, Deadline, Fault, Internal };
+        Kind kind = Kind::None;
+        std::string code;    ///< RequestError code / fault point
+        std::string message;
+        /** Describe the in-flight exception (call inside a catch). */
+        static RelayedError capture();
+        /** Throw the equivalent fresh exception; no-op when None. */
+        void raise() const;
+    };
+
+    /** Dispatcher -> waiter envelope (error.kind == None on success). */
+    struct JobOutcome
+    {
+        mirage_pass::TranspileResult result;
+        RelayedError error;
+    };
+
+    /** Owner -> coalesced-waiter envelope for one in-flight key. */
+    struct InflightOutcome
+    {
+        EntryPtr entry;
+        RelayedError error;
+    };
+
     /** Single-flight rendezvous for one in-flight cache key. */
     struct Inflight
     {
-        std::promise<EntryPtr> promise;
-        std::shared_future<EntryPtr> future;
+        std::promise<InflightOutcome> promise;
+        std::shared_future<InflightOutcome> future;
     };
 
     /** One queued transpile awaiting the dispatcher. */
@@ -165,7 +230,7 @@ class Engine
         mirage_pass::TranspileOptions options;
         /** Requests sharing this key are transpileMany-compatible. */
         std::string groupKey;
-        std::promise<mirage_pass::TranspileResult> promise;
+        std::promise<JobOutcome> promise;
     };
 
     json::Value handleTranspile(const json::Value &doc,
@@ -181,8 +246,7 @@ class Engine
 
     /** Enqueue a job for the dispatcher; throws RequestError("shutdown")
      * when the engine is draining. */
-    std::future<mirage_pass::TranspileResult>
-    enqueueJob(std::unique_ptr<Job> job);
+    std::future<JobOutcome> enqueueJob(std::unique_ptr<Job> job);
 
     void dispatcherLoop();
 
@@ -211,6 +275,11 @@ class Engine
 
     mutable std::mutex countersMutex_;
     EngineCounters counters_;
+    /** EWMA of per-job compute time, feeding retryAfterMs estimates.
+     * Guarded by countersMutex_. */
+    double avgJobMs_ = 50.0;
+    /** Uniquifier keeping deadlined jobs out of shared batches. */
+    std::atomic<uint64_t> soloSeq_{0};
 
     std::thread dispatcher_;
 };

@@ -9,6 +9,7 @@
 
 #include <errno.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -17,13 +18,16 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "circuit/circuit.hh"
 #include "circuit/qasm.hh"
+#include "common/fault.hh"
 #include "common/rng.hh"
 #include "serve/server.hh"
 
@@ -287,6 +291,324 @@ runTraffic(const TrafficOptions &o, std::ostream &log)
         << " requests, " << driveHits << "/" << driveTotal
         << " drive hits, bitIdentical="
         << (bitIdentical ? "true" : "false") << "\n";
+    return doc;
+}
+
+// --- chaos harness ----------------------------------------------------------
+
+const char *const kDefaultChaosFaults =
+    "seed=7,catalog.load=1/1,cache.save=1/1,fit.converge=1/3,"
+    "serve.accept=1/5,serve.read=1/11,serve.write=1/13,queue.admit=1/7";
+
+namespace {
+
+/** The transpile request line for chaos request #request_id. */
+std::string
+chaosRequestLine(const ChaosOptions &o, int index, const std::string &qasm,
+                 int request_id, bool lower, double deadline_ms)
+{
+    json::Value req = json::Value::object();
+    req.set("id", request_id);
+    req.set("op", "transpile");
+    req.set("name", "chaos" + std::to_string(index));
+    req.set("qasm", qasm);
+    json::Value opts = json::Value::object();
+    opts.set("topology", o.topology);
+    opts.set("trials", o.trials);
+    opts.set("swapTrials", o.swapTrials);
+    opts.set("fwdBwd", o.fwdBwd);
+    opts.set("seed", o.seed);
+    opts.set("aggression", o.aggression);
+    opts.set("lower", lower);
+    if (deadline_ms > 0)
+        opts.set("deadlineMs", deadline_ms);
+    req.set("options", std::move(opts));
+    return req.dump(0);
+}
+
+/**
+ * SocketClient that treats a dropped connection (injected serve.read/
+ * serve.write/serve.accept faults, or a real disconnect) as retryable:
+ * reconnect, resend, count the drop. A server that stops answering for
+ * good -- crash or deadlock, the two things chaos must never cause --
+ * exhausts the attempt budget and throws ServeError.
+ */
+class ReconnectingClient
+{
+  public:
+    explicit ReconnectingClient(std::string socket_path)
+        : path_(std::move(socket_path))
+    {
+    }
+
+    std::string call(const std::string &line)
+    {
+        for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+            try {
+                if (!client_)
+                    client_ = std::make_unique<SocketClient>(path_);
+                return client_->roundTrip(line);
+            } catch (const ServeError &) {
+                client_.reset();
+                ++drops_;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        }
+        throw ServeError("chaos: no response after " +
+                         std::to_string(kMaxAttempts) +
+                         " attempts -- server crashed or deadlocked?");
+    }
+
+    /** Connection drops survived (reconnect-and-resend cycles). */
+    uint64_t drops() const { return drops_; }
+
+  private:
+    static constexpr int kMaxAttempts = 200;
+    std::string path_;
+    std::unique_ptr<SocketClient> client_;
+    uint64_t drops_ = 0;
+};
+
+} // namespace
+
+json::Value
+runChaos(const ChaosOptions &o, std::ostream &log)
+{
+    const bool external = !o.socketPath.empty();
+    std::string workDir = o.workDir;
+    if (workDir.empty())
+        workDir = "/tmp/mirage-chaos-" + std::to_string(::getpid());
+    ::mkdir(workDir.c_str(), 0755);
+
+    std::vector<std::string> qasm(size_t(o.distinct));
+    for (int k = 0; k < o.distinct; ++k)
+        qasm[size_t(k)] =
+            syntheticQasm(k, o.width, o.twoQubitGates, o.seed);
+
+    // --- fault-free references -------------------------------------------
+    // Every SUCCESSFUL chaos response must be byte-identical to these:
+    // faults may fail a request, never corrupt one.
+    fault::disarm();
+    log << "mirage: chaos: computing " << o.distinct
+        << " fault-free reference reports...\n";
+    std::vector<std::string> reference(size_t(o.distinct));
+    {
+        EngineOptions ropts;
+        ropts.threads = o.engineThreads;
+        ropts.catalogPath = "none";
+        Engine ref(ropts);
+        for (int k = 0; k < o.distinct; ++k) {
+            json::Value doc = json::parse(ref.handle(chaosRequestLine(
+                o, k, qasm[size_t(k)], k, false, 0.0)));
+            if (!doc["ok"].asBool())
+                throw ServeError(
+                    "chaos: fault-free reference request failed: " +
+                    doc.dump(0));
+            reference[size_t(k)] = doc["report"].dump(0);
+        }
+    }
+
+    // --- the server under test -------------------------------------------
+    const std::string spec =
+        o.faultSpec.empty() ? kDefaultChaosFaults : o.faultSpec;
+    struct DisarmGuard
+    {
+        bool active = false;
+        ~DisarmGuard()
+        {
+            if (active)
+                fault::disarm();
+        }
+    } disarmGuard;
+
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<SocketServer> server;
+    std::thread serverThread;
+    std::string socketPath = o.socketPath;
+    bool catalogDegraded = false;
+    if (!external) {
+        // Give the engine a VALID catalog file so the catalog.load
+        // fault fires on a real load: startup must degrade to a cold
+        // library, not die.
+        const std::string catalogPath = workDir + "/chaos-catalog.bin";
+        decomp::EquivalenceLibrary empty(2, /*preseed=*/false);
+        empty.saveCacheFile(catalogPath);
+
+        fault::arm(spec);
+        disarmGuard.active = true;
+
+        EngineOptions eopts;
+        eopts.threads = o.engineThreads;
+        eopts.cacheEntries = std::max<size_t>(256, size_t(o.distinct) * 4);
+        eopts.catalogPath = catalogPath;
+        eopts.cacheDir = workDir; // shutdown save crosses cache.save
+        eopts.maxQueue = o.maxQueue;
+        engine = std::make_unique<Engine>(eopts);
+        catalogDegraded =
+            engine->catalogLoad().status !=
+            decomp::EquivalenceLibrary::CacheLoadStatus::Ok;
+        socketPath = workDir + "/chaos.sock";
+        server = std::make_unique<SocketServer>(*engine, socketPath);
+        server->start();
+        serverThread = std::thread([&server] { server->run(); });
+        log << "mirage: chaos: server up at " << socketPath
+            << " under schedule '" << spec << "'\n";
+    }
+
+    // --- drive ------------------------------------------------------------
+    static const std::set<std::string> documented = {
+        "parse",      "request",  "qasm",  "input",    "toolarge",
+        "overloaded", "deadline", "fault", "shutdown", "internal"};
+
+    ReconnectingClient client(socketPath);
+    uint64_t okCount = 0, errorCount = 0;
+    uint64_t loweredRequests = 0, deadlineRequests = 0;
+    std::map<std::string, uint64_t> errorsByCode;
+    std::set<std::string> undocumented;
+    bool bitIdentical = true;
+    const auto driveStart = Clock::now();
+    for (int i = 0; i < o.requests; ++i) {
+        const int k = i % o.distinct;
+        const bool lower =
+            o.lowerEvery > 0 && i % o.lowerEvery == o.lowerEvery - 1;
+        const bool withDeadline =
+            !lower && o.deadlineEvery > 0 &&
+            i % o.deadlineEvery == o.deadlineEvery - 1;
+        loweredRequests += lower ? 1 : 0;
+        deadlineRequests += withDeadline ? 1 : 0;
+        json::Value doc = json::parse(client.call(chaosRequestLine(
+            o, k, qasm[size_t(k)], i, lower,
+            withDeadline ? o.deadlineMs : 0.0)));
+        if (doc["ok"].asBool()) {
+            ++okCount;
+            if (!lower &&
+                doc["report"].dump(0) != reference[size_t(k)]) {
+                bitIdentical = false;
+                log << "mirage: chaos: request " << i
+                    << " DIVERGED from its fault-free reference\n";
+            }
+        } else {
+            ++errorCount;
+            const std::string code = doc["error"]["code"].asString();
+            ++errorsByCode[code];
+            if (!documented.count(code))
+                undocumented.insert(code);
+        }
+    }
+    const double driveMs = msSince(driveStart);
+
+    // Server-side counters before teardown (stats answers under chaos
+    // too; the reconnecting client rides out injected drops).
+    json::Value stats = json::parse(client.call("{\"op\": \"stats\"}"));
+
+    // --- teardown + injection census --------------------------------------
+    uint64_t faultKinds = 0, totalInjected = 0;
+    json::Value injectedByPoint = json::Value::object();
+    if (!external) {
+        server->stop();
+        serverThread.join();
+        server.reset();
+        // Engine shutdown persists libraries -> crosses cache.save.
+        engine.reset();
+        for (const auto &ps : fault::stats()) {
+            if (ps.injected == 0)
+                continue;
+            ++faultKinds;
+            totalInjected += ps.injected;
+            injectedByPoint.set(ps.point, ps.injected);
+        }
+        fault::disarm();
+        disarmGuard.active = false;
+    } else {
+        // External server: the schedule and the catalog live in its
+        // process; read the census and load status it publishes via
+        // the stats op.
+        if (const json::Value *cat = stats.find("catalog")) {
+            if (const json::Value *st = cat->find("status"))
+                catalogDegraded = st->asString() == "unreadable" ||
+                                  st->asString() == "malformed";
+        }
+        const json::Value *f = stats.find("faults");
+        const json::Value *inj = f ? f->find("injected") : nullptr;
+        if (inj) {
+            for (const auto &[point, count] : inj->members()) {
+                const uint64_t c = uint64_t(count.asNumber());
+                if (c == 0)
+                    continue;
+                ++faultKinds;
+                totalInjected += c;
+                injectedByPoint.set(point, count);
+            }
+        }
+    }
+
+    const bool pass = undocumented.empty() && bitIdentical &&
+                      okCount > 0 &&
+                      faultKinds >= uint64_t(o.requireFaultKinds);
+
+    json::Value doc = json::Value::object();
+    doc.set("schemaVersion", kProtocolVersion);
+    doc.set("kind", kServeChaosKind);
+    {
+        json::Value p = json::Value::object();
+        p.set("requests", o.requests);
+        p.set("distinctCircuits", o.distinct);
+        p.set("width", o.width);
+        p.set("twoQubitGates", o.twoQubitGates);
+        p.set("topology", o.topology);
+        p.set("trials", o.trials);
+        p.set("swapTrials", o.swapTrials);
+        p.set("fwdBwd", o.fwdBwd);
+        p.set("seed", o.seed);
+        p.set("aggression", o.aggression);
+        p.set("lowerEvery", o.lowerEvery);
+        p.set("deadlineEvery", o.deadlineEvery);
+        p.set("deadlineMs", o.deadlineMs);
+        p.set("requireFaultKinds", o.requireFaultKinds);
+        p.set("faults", external ? std::string("<server-side>") : spec);
+        p.set("transport", external ? "socket" : "in-process");
+        doc.set("parameters", std::move(p));
+    }
+    {
+        json::Value r = json::Value::object();
+        r.set("okResponses", okCount);
+        r.set("errorResponses", errorCount);
+        r.set("loweredRequests", loweredRequests);
+        r.set("deadlineRequests", deadlineRequests);
+        r.set("transportDrops", client.drops());
+        json::Value codes = json::Value::object();
+        for (const auto &[code, count] : errorsByCode)
+            codes.set(code, count);
+        r.set("errorsByCode", std::move(codes));
+        json::Value undoc = json::Value::array();
+        for (const auto &code : undocumented)
+            undoc.push(code);
+        r.set("undocumentedCodes", std::move(undoc));
+        r.set("bitIdentical", bitIdentical);
+        r.set("catalogDegraded", catalogDegraded);
+        r.set("faultKindsInjected", faultKinds);
+        r.set("totalInjected", totalInjected);
+        r.set("injectedByPoint", std::move(injectedByPoint));
+        doc.set("results", std::move(r));
+    }
+    {
+        json::Value s = json::Value::object();
+        if (const json::Value *counters = stats.find("counters")) {
+            for (const auto &[key, value] : counters->members())
+                s.set(key, value);
+        }
+        s.set("driveMs", driveMs);
+        doc.set("informational", std::move(s));
+    }
+    doc.set("pass", pass);
+
+    log << "mirage: chaos: " << o.requests << " requests, " << okCount
+        << " ok / " << errorCount << " errors, " << client.drops()
+        << " drops survived, " << faultKinds
+        << " fault kinds injected (total " << totalInjected
+        << "), bitIdentical=" << (bitIdentical ? "true" : "false")
+        << " -> " << (pass ? "PASS" : "FAIL") << "\n";
     return doc;
 }
 

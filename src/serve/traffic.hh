@@ -83,6 +83,64 @@ json::Value runTraffic(const TrafficOptions &opts, std::ostream &log);
 bool checkServeArtifact(const json::Value &current,
                         const json::Value &baseline, std::string *report);
 
+/** The chaos artifact's `kind` tag. */
+inline constexpr const char *kServeChaosKind = "mirage-serve-chaos";
+
+/**
+ * Default seeded fault schedule for `serve-bench --chaos`: every named
+ * injection point in common/fault.hh fires (catalog.load and
+ * cache.save always; fit.converge at 1/3 so some lowers succeed and
+ * the library save path runs; the transport points at low rates).
+ */
+extern const char *const kDefaultChaosFaults;
+
+/** Workload knobs for one chaos run (`mirage serve-bench --chaos`). */
+struct ChaosOptions
+{
+    int requests = 200;    ///< requests driven through the server
+    int distinct = 6;      ///< distinct synthetic circuits
+    int width = 4;         ///< qubits per circuit
+    int twoQubitGates = 8; ///< entangling gates per circuit
+    std::string topology = "grid2x2";
+    int trials = 2;
+    int swapTrials = 1;
+    int fwdBwd = 1;
+    uint64_t seed = 20240229;
+    int aggression = -1;
+    /** Every K-th request asks for lowering (0 = never). Lowering
+     * crosses fit.converge, the most invasive injection point. */
+    int lowerEvery = 5;
+    /** Every K-th non-lowered request carries deadlineMs (0 = never). */
+    int deadlineEvery = 7;
+    double deadlineMs = 1.0;
+    /** Injected fault kinds required for pass (the acceptance floor). */
+    int requireFaultKinds = 6;
+    /** Fault schedule; empty = kDefaultChaosFaults. Ignored over an
+     * external socket (the server process owns its schedule). */
+    std::string faultSpec;
+    /** Engine admission-queue bound for the in-process server. */
+    int maxQueue = 64;
+    /** In-process engine pool size (0 = all cores). */
+    int engineThreads = 0;
+    /** Non-empty: torture a live `mirage serve --faults ...` at this
+     * socket instead of an in-process server. */
+    std::string socketPath;
+    /** Scratch directory for the in-process server's socket, catalog,
+     * and cacheDir ("" = /tmp/mirage-chaos-<pid>). */
+    std::string workDir;
+};
+
+/**
+ * Drive a server through a seeded fault schedule and prove it degrades
+ * instead of dying: reference reports are computed fault-free first,
+ * then every chaos-run success must be byte-identical to its reference
+ * and every failure must carry a documented error code. Returns the
+ * chaos artifact {schemaVersion, kind, parameters, results, pass};
+ * throws ServeError only when the server stops answering for good
+ * (crash/deadlock -- the one thing that must never happen).
+ */
+json::Value runChaos(const ChaosOptions &opts, std::ostream &log);
+
 /**
  * Minimal line-oriented client for the serve socket protocol (used by
  * the traffic generator, tests, and scripting).

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "bench_circuits/generators.hh"
 #include "circuit/consolidate.hh"
@@ -216,4 +217,14 @@ TEST(Generators, SwapTestInterferenceOnEqualStates)
             p1 += std::norm(sv.amplitudes()[i]);
     }
     EXPECT_NEAR(p1, 0.0, 1e-10);
+}
+
+TEST(Generators, UnknownBenchmarkNameThrowsTyped)
+{
+    // Benchmark names can arrive as request/CLI data, so the lookup
+    // must throw a catchable exception, never call fatal().
+    EXPECT_THROW(bench::benchmarkByName("no_such_bench_n0"),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(bench::benchmarkByName(
+        bench::paperBenchmarks().front().name));
 }
